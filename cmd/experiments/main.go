@@ -1,0 +1,175 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -exp table1              Table 1 (MRF + offline estimates per scenario)
+//	experiments -exp fig1                Figure 1 (perception TOPS demand vs SoCs)
+//	experiments -exp fig4,fig5,fig6      per-camera latency series figures
+//	experiments -exp fig7                post-deployment online estimates
+//	experiments -exp fig8                velocity sensitivity grids (sn = 30, 100)
+//	experiments -exp headline            closed-loop Zhuyi controller vs 30-FPR baseline
+//	experiments -exp all                 everything
+//
+// Table 1 with the full protocol (-seeds 10) takes a few minutes; use
+// -seeds 3 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,all")
+		seeds  = flag.Int("seeds", 10, "seeded runs per configuration (Table 1)")
+		csvDir = flag.String("csv", "", "also write CSV artifacts into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig1", func() error {
+		experiments.WriteFigure1(os.Stdout, experiments.Figure1())
+		return nil
+	})
+	run("table1", func() error {
+		opt := experiments.Options{Seeds: *seeds}
+		rows, err := experiments.Table1(opt)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable1(os.Stdout, rows, nil)
+		fmt.Printf("# max resource fraction: %.2f (paper: 0.36)\n", experiments.MaxFraction(rows))
+		for _, v := range experiments.ValidateTable1(rows) {
+			fmt.Printf("# conservatism note: %s\n", v)
+		}
+		writeCSV("table1.csv", func(w io.Writer) error {
+			return experiments.Table1CSV(w, rows, nil)
+		})
+		return nil
+	})
+	figureScenarios := map[string]string{
+		"fig4": scenario.CutOutFast,
+		"fig5": scenario.ChallengingCutInCurved,
+		"fig6": scenario.CutIn,
+	}
+	for fig, sc := range figureScenarios {
+		fig, sc := fig, sc
+		run(fig, func() error {
+			fs, err := experiments.CameraLatencyFigure(sc, 30, 1)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigureSeries(os.Stdout, fs)
+			writeCSV(fig+".csv", func(w io.Writer) error { return experiments.SeriesCSV(w, fs) })
+			return nil
+		})
+	}
+	run("fig7", func() error {
+		s, err := experiments.Figure7(30, 1)
+		if err != nil {
+			return err
+		}
+		experiments.WriteOnlineSeries(os.Stdout, s)
+		writeCSV("fig7.csv", func(w io.Writer) error { return experiments.OnlineCSV(w, s) })
+		return nil
+	})
+	run("fig8", func() error {
+		for _, sn := range []float64{30, 100} {
+			res := experiments.Figure8(sn)
+			experiments.WriteSweep(os.Stdout, res)
+			writeCSV(fmt.Sprintf("fig8_sn%.0f.csv", sn), func(w io.Writer) error {
+				return experiments.SweepCSV(w, res)
+			})
+		}
+		return nil
+	})
+	run("headline", func() error {
+		rows, err := experiments.Headline(1)
+		if err != nil {
+			return err
+		}
+		experiments.WriteHeadline(os.Stdout, rows)
+		fmt.Printf("# all Zhuyi-controlled runs safe: %v; max frame fraction %.2f\n",
+			experiments.AllSafe(rows), experiments.MaxFrameFraction(rows))
+		writeCSV("headline.csv", func(w io.Writer) error { return experiments.HeadlineCSV(w, rows) })
+		return nil
+	})
+	run("baselines", func() error {
+		opt := experiments.Options{Seeds: *seeds}
+		rows, err := experiments.BaselineComparison(opt)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBaselineComparison(os.Stdout, rows, 12, *seeds)
+		fmt.Println()
+		experiments.WriteRSSComparison(os.Stdout, experiments.RSSComparison())
+		return nil
+	})
+	run("ablations", func() error {
+		if rows, err := experiments.ConfirmationDepthAblation(nil); err != nil {
+			return err
+		} else {
+			experiments.WriteAblation(os.Stdout, "confirmation depth K (cut-out-fast trace)", rows)
+		}
+		if rows, err := experiments.AlphaModelAblation(); err != nil {
+			return err
+		} else {
+			experiments.WriteAblation(os.Stdout, "confirmation-delay alpha model", rows)
+		}
+		if rows, err := experiments.SearchModeAblation(); err != nil {
+			return err
+		} else {
+			experiments.WriteAblation(os.Stdout, "Eq.-3 accelerated vs naive search", rows)
+		}
+		if rows, err := experiments.UncertaintyAblation(nil); err != nil {
+			return err
+		} else {
+			experiments.WriteAblation(os.Stdout, "perception uncertainty (position sigma)", rows)
+		}
+		rows, err := experiments.AggregationAblation()
+		if err != nil {
+			return err
+		}
+		experiments.WriteAggregationAblation(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,45 @@
+// Command render replays a recorded trace as ego-relative ASCII top
+// views — a quick visual check of scenario choreography.
+//
+// Usage:
+//
+//	simrun -scenario cut-out-fast -fpr 2 -o t.jsonl
+//	render -trace t.jsonl -every 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/render"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		path  = flag.String("trace", "", "JSONL trace recorded by simrun")
+		every = flag.Float64("every", 1.0, "seconds between frames")
+		ahead = flag.Float64("ahead", 100, "meters ahead of the ego in view")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "render: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+	v := render.DefaultViewport()
+	v.Ahead = *ahead
+	fmt.Printf("# %s (run at %g FPR, seed %d)\n\n", tr.Meta.Scenario, tr.Meta.FPR, tr.Meta.Seed)
+	fmt.Print(render.Strip(tr, *every, v))
+}

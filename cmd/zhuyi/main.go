@@ -1,0 +1,138 @@
+// Command zhuyi runs the Zhuyi model from the command line:
+//
+//	zhuyi estimate -trace trace.jsonl        offline per-camera FPR series from a recorded trace
+//	zhuyi sweep -sn 30                       Figure-8 velocity sensitivity grid
+//	zhuyi demand -actors 2 -trajectories 1   the model's own compute demand (§4.2)
+//	zhuyi mrf -scenario cut-out -seeds 10    minimum required FPR search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sensor"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "demand":
+		err = cmdDemand(os.Args[2:])
+	case "mrf":
+		err = cmdMRF(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zhuyi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf> [flags]")
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	path := fs.String("trace", "", "JSONL trace recorded by simrun")
+	every := fs.Float64("every", 0.1, "evaluation period, s")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("estimate: -trace is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	est := core.NewEstimator()
+	off, err := est.EvaluateTrace(tr, core.OfflineOptions{EvalEvery: *every})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# scenario %s run at %g FPR (%d rows)\n", tr.Meta.Scenario, tr.Meta.FPR, tr.Len())
+	fmt.Printf("%8s", "t(s)")
+	for _, cam := range off.Cameras {
+		fmt.Printf(" %10s", cam)
+	}
+	fmt.Println(" (latency ms)")
+	for _, pt := range off.Points {
+		fmt.Printf("%8.2f", pt.Time)
+		for _, cam := range off.Cameras {
+			fmt.Printf(" %10.0f", pt.Latency[cam]*1000)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("# max estimated FPR: %.2f\n", off.MaxFPR())
+	for cam, f := range off.MaxCameraFPR() {
+		fmt.Printf("#   %s: %.2f\n", cam, f)
+	}
+	fmt.Printf("# max sum FPR (analyzed cameras): %.2f (fraction of 3x30: %.2f)\n",
+		off.MaxSumFPR(), off.MaxSumFPR()/90)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	sn := fs.Float64("sn", 30, "fixed tolerable distance, m (paper: 30 and 100)")
+	fs.Parse(args)
+	res := experiments.Figure8(*sn)
+	experiments.WriteSweep(os.Stdout, res)
+	sum := experiments.Summarize(res)
+	fmt.Printf("# feasible %d, 30+ %d, unavoidable %d; max FPR %d (streets <=25mph: %d)\n",
+		sum.Feasible, sum.ThirtyPlus, sum.Unavoidable, sum.MaxFPR, sum.StreetMaxFPR)
+	return nil
+}
+
+func cmdDemand(args []string) error {
+	fs := flag.NewFlagSet("demand", flag.ExitOnError)
+	actors := fs.Int("actors", 2, "number of surrounding actors |A|")
+	trajs := fs.Int("trajectories", 1, "predicted trajectories per actor |T|")
+	gops := fs.Float64("gops", 10, "processor throughput, GOPS")
+	fs.Parse(args)
+	d := core.NewDemand(*actors, *trajs, core.DefaultParams())
+	fmt.Printf("ops per Zhuyi evaluation: %d (|A|=%d x |T|=%d x M=%d x L=%d x C=%d)\n",
+		d.Ops(), d.Actors, d.Trajectories, d.M, d.L, d.OpsPerIter)
+	fmt.Printf("execution on %.0f GOPS: %.3f ms\n", *gops, d.ExecutionSeconds(*gops*1e9)*1000)
+	return nil
+}
+
+func cmdMRF(args []string) error {
+	fs := flag.NewFlagSet("mrf", flag.ExitOnError)
+	name := fs.String("scenario", scenario.CutOut, "scenario name")
+	seeds := fs.Int("seeds", 10, "seeded runs per rate")
+	fs.Parse(args)
+	sc, ok := scenario.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", *name)
+	}
+	m, err := metrics.FindMRF(sc, metrics.DefaultFPRGrid(), *seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: MRF = %s (cameras: %v)\n", sc.Name, m.String(), sensor.AnalyzedCameras())
+	for _, f := range metrics.DefaultFPRGrid() {
+		fmt.Printf("  FPR %4g: %d/%d collisions\n", f, m.Collisions[f], m.Seeds)
+	}
+	return nil
+}

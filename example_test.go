@@ -1,0 +1,87 @@
+package zhuyi_test
+
+import (
+	"fmt"
+
+	zhuyi "repro"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+// ExampleTolerableLatency shows the core per-actor computation: the
+// maximum perception latency tolerable against a static obstacle.
+func ExampleNewEstimator() {
+	est := zhuyi.NewEstimator()
+
+	ego := world.Agent{
+		ID:     world.EgoID,
+		Pose:   geom.Pose{Pos: geom.V(0, 0)},
+		Speed:  20, // m/s
+		Length: 4.6, Width: 1.9,
+	}
+	obstacle := world.Agent{
+		ID:     "obstacle",
+		Pose:   geom.Pose{Pos: geom.V(120, 0)},
+		Length: 4, Width: 1.9,
+		Static: true,
+	}
+	// Ground-truth future: the obstacle stays put.
+	traj := world.Trajectory{ActorID: "obstacle", Prob: 1, Points: []world.TrajectoryPoint{
+		{T: 0, Pos: obstacle.Pose.Pos},
+		{T: est.Params.Horizon, Pos: obstacle.Pose.Pos},
+	}}
+
+	e := est.EstimateSnapshot(0, ego, []world.Agent{obstacle},
+		map[string][]world.Trajectory{"obstacle": {traj}}, 1.0/30)
+
+	fmt.Printf("front latency budget: %.0f ms\n", e.CameraLatency[sensor.Front120]*1000)
+	fmt.Printf("front minimum FPR: %.1f\n", e.CameraFPR[sensor.Front120])
+	fmt.Printf("side cameras idle: %v\n", e.CameraFPR[sensor.Left] == 1 && e.CameraFPR[sensor.Right] == 1)
+	// Output:
+	// front latency budget: 538 ms
+	// front minimum FPR: 1.9
+	// side cameras idle: true
+}
+
+// ExampleCheckSafety demonstrates the §3.2 online safety check.
+func ExampleCheckSafety() {
+	est := zhuyi.Estimate{
+		CameraFPR: map[string]float64{
+			sensor.Front120: 8,
+			sensor.Left:     1,
+		},
+	}
+	operating := map[string]float64{
+		sensor.Front120: 5, // below the requirement
+		sensor.Left:     2,
+	}
+	res := zhuyi.CheckSafety(est, operating)
+	fmt.Println("ok:", res.OK)
+	fmt.Println("action:", res.Action)
+	fmt.Println("alarmed camera:", res.Alarms[0].Camera)
+	// Output:
+	// ok: false
+	// action: limited-functionality
+	// alarmed camera: front120
+}
+
+// ExampleUncertainty shows the perception-uncertainty extension: a
+// noisier perception model tightens the estimated requirement.
+func ExampleUncertainty() {
+	exact := zhuyi.DefaultParams()
+	noisy := zhuyi.Uncertainty{PosSigma: 2, SpeedSigma: 1}.Apply(exact)
+
+	ego := core.EgoState{Pose: geom.Pose{Pos: geom.V(0, 0)}, Speed: 25, Length: 4.6, Width: 1.9}
+	traj := world.Trajectory{ActorID: "obs", Prob: 1, Points: []world.TrajectoryPoint{
+		{T: 0, Pos: geom.V(95, 0)},
+		{T: exact.Horizon, Pos: geom.V(95, 0)},
+	}}
+
+	a := core.TolerableLatency(ego, traj, [2]float64{4, 1.9}, 1.0/30, exact)
+	b := core.TolerableLatency(ego, traj, [2]float64{4, 1.9}, 1.0/30, noisy)
+	fmt.Println("noisy model demands a higher rate:", b.FPR() > a.FPR())
+	// Output:
+	// noisy model demands a higher rate: true
+}

@@ -1,0 +1,117 @@
+package compute
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure1Headline(t *testing.T) {
+	// The paper's motivation: 12-camera perception demand exceeds a
+	// DRIVE AGX Xavier but fits inside a Jetson AGX Orin.
+	d := DefaultDemand()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	demand := d.TOPS()
+	if demand <= Xavier().TOPS {
+		t.Errorf("demand %v TOPS should exceed Xavier (%v)", demand, Xavier().TOPS)
+	}
+	if demand >= Orin().TOPS {
+		t.Errorf("demand %v TOPS should fit within Orin (%v)", demand, Orin().TOPS)
+	}
+}
+
+func TestDemandArithmetic(t *testing.T) {
+	d := DefaultDemand()
+	// 433e9 * 12 * 30 * 1.2 / 1e12 = 187.056 TOPS.
+	if math.Abs(d.TOPS()-187.056) > 0.01 {
+		t.Errorf("TOPS = %v, want 187.056", d.TOPS())
+	}
+	if math.Abs(d.PerCameraTOPS()-187.056/12) > 0.01 {
+		t.Errorf("per camera = %v", d.PerCameraTOPS())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := DefaultDemand()
+	if u := d.Utilization(Xavier()); u <= 1 {
+		t.Errorf("Xavier utilization = %v, want > 1", u)
+	}
+	if u := d.Utilization(Orin()); u >= 1 {
+		t.Errorf("Orin utilization = %v, want < 1", u)
+	}
+	if u := d.Utilization(SoC{TOPS: 0}); u != 0 {
+		t.Errorf("zero SoC utilization = %v", u)
+	}
+}
+
+func TestMaxCameras(t *testing.T) {
+	d := DefaultDemand()
+	// Xavier: 32 / (0.433*30*1.2) = 2.05 -> 2 cameras.
+	if got := d.MaxCameras(Xavier()); got != 2 {
+		t.Errorf("Xavier MaxCameras = %d, want 2", got)
+	}
+	// Orin: 275 / 15.588 = 17.6 -> 17 cameras.
+	if got := d.MaxCameras(Orin()); got != 17 {
+		t.Errorf("Orin MaxCameras = %d, want 17", got)
+	}
+}
+
+func TestMaxFPRPerCamera(t *testing.T) {
+	d := DefaultDemand()
+	// Xavier with 12 cameras: 32 / (0.433*12*1.2) = 5.13 FPR.
+	got := d.MaxFPRPerCamera(Xavier())
+	if math.Abs(got-5.13) > 0.05 {
+		t.Errorf("Xavier max FPR = %v, want ~5.13", got)
+	}
+	// Zhuyi's point: the scenarios' max summed demand (32 FPR over 3
+	// cameras) fits in Xavier-class budgets that a fixed 90-FPR total
+	// does not.
+	if got < 5 {
+		t.Errorf("max FPR %v too low for the Zhuyi operating point", got)
+	}
+}
+
+func TestDemandCurveMonotone(t *testing.T) {
+	d := DefaultDemand()
+	curve := d.DemandCurve(12)
+	if len(curve) != 12 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TOPS <= curve[i-1].TOPS {
+			t.Fatalf("curve not increasing at %d", i)
+		}
+	}
+	if curve[11].Cameras != 12 || math.Abs(curve[11].TOPS-d.TOPS()) > 1e-9 {
+		t.Errorf("final point = %+v", curve[11])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []DemandConfig{
+		{Model: PerceptionModel{OpsPerFrame: 0}, Cameras: 1, FPR: 30},
+		{Model: SSDLarge(), Cameras: -1, FPR: 30},
+		{Model: SSDLarge(), Cameras: 1, FPR: -1},
+		{Model: SSDLarge(), Cameras: 1, FPR: 30, ExtraModelFrac: -0.5},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestZeroEdgeCases(t *testing.T) {
+	d := DemandConfig{Model: SSDLarge(), Cameras: 0, FPR: 30}
+	if d.PerCameraTOPS() != 0 {
+		t.Error("zero cameras per-camera demand")
+	}
+	z := DemandConfig{}
+	if z.MaxCameras(Orin()) != 0 {
+		t.Error("zero model max cameras")
+	}
+	if z.MaxFPRPerCamera(Orin()) != 0 {
+		t.Error("zero model max FPR")
+	}
+}

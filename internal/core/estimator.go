@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/predict"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+// ActorEstimate is the per-actor output of one Zhuyi evaluation.
+type ActorEstimate struct {
+	ActorID   string
+	Latency   float64 // aggregated tolerable latency, s
+	Feasible  bool
+	NoThreat  bool
+	Evals     int
+	TrajCount int
+}
+
+// Estimate is the full Zhuyi output for one instant: per-actor
+// latencies and the per-camera requirement (Eq. 5).
+type Estimate struct {
+	Time          float64
+	Actors        []ActorEstimate
+	CameraLatency map[string]float64 // l_sensor = min over actors in FOV
+	CameraFPR     map[string]float64 // 1 / l_sensor
+	CameraThreat  map[string]bool    // any in-FOV actor with a conflicting trajectory
+	Evals         int                // total constraint evaluations
+}
+
+// SumFPR returns the summed FPR requirement over the given cameras (the
+// Table-1 F_c1+F_c2+F_c3 quantity).
+func (e Estimate) SumFPR(cameras []string) float64 {
+	sum := 0.0
+	for _, c := range cameras {
+		sum += e.CameraFPR[c]
+	}
+	return sum
+}
+
+// MaxFPR returns the largest per-camera requirement over the given
+// cameras.
+func (e Estimate) MaxFPR(cameras []string) float64 {
+	max := 0.0
+	for _, c := range cameras {
+		if e.CameraFPR[c] > max {
+			max = e.CameraFPR[c]
+		}
+	}
+	return max
+}
+
+// Estimator orchestrates the Zhuyi model over world snapshots.
+type Estimator struct {
+	Params  Params
+	Rig     sensor.Rig
+	Agg     AggregateOptions
+	Cameras []string // cameras to report; nil = all rig cameras
+}
+
+// NewEstimator builds an estimator with the paper's defaults (ground
+// truth aggregation is trivial with |T| = 1; the percentile mode only
+// matters online).
+func NewEstimator() *Estimator {
+	return &Estimator{
+		Params:  DefaultParams(),
+		Rig:     sensor.DefaultRig(),
+		Agg:     AggregateOptions{Mode: AggPercentile, Percentile: 99},
+		Cameras: sensor.AnalyzedCameras(),
+	}
+}
+
+func (e *Estimator) cameras() []string {
+	if e.Cameras != nil {
+		return e.Cameras
+	}
+	return e.Rig.Names()
+}
+
+// EstimateSnapshot runs the Zhuyi model at one instant. ego and actors
+// describe the scene (ground truth offline, the perceived world model
+// online); trajs supplies the trajectory set T per actor ID; l0 is the
+// current per-camera processing latency.
+func (e *Estimator) EstimateSnapshot(now float64, ego world.Agent, actors []world.Agent, trajs map[string][]world.Trajectory, l0 float64) Estimate {
+	est := Estimate{
+		Time:          now,
+		CameraLatency: make(map[string]float64, len(e.cameras())),
+		CameraFPR:     make(map[string]float64, len(e.cameras())),
+		CameraThreat:  make(map[string]bool, len(e.cameras())),
+	}
+	egoState := EgoFromAgent(ego)
+
+	threats := make(map[string]bool, len(actors))
+	latencies := make(map[string]float64, len(actors))
+	for _, a := range actors {
+		set := trajs[a.ID]
+		results := make([]LatencyResult, 0, len(set))
+		probs := make([]float64, 0, len(set))
+		for _, tr := range set {
+			results = append(results, TolerableLatency(egoState, tr, [2]float64{a.Length, a.Width}, l0, e.Params))
+			probs = append(probs, tr.Prob)
+		}
+		agg := Aggregate(results, probs, e.Agg)
+		ae := ActorEstimate{
+			ActorID:   a.ID,
+			Latency:   agg.Latency,
+			Feasible:  agg.Feasible,
+			NoThreat:  agg.NoThreat,
+			Evals:     agg.Evals,
+			TrajCount: len(set),
+		}
+		if !agg.Feasible {
+			ae.Latency = 0
+		}
+		est.Actors = append(est.Actors, ae)
+		est.Evals += agg.Evals
+		threats[a.ID] = !agg.NoThreat
+		latencies[a.ID] = ae.Latency
+		if !agg.Feasible {
+			latencies[a.ID] = e.Params.LMin // demand the maximum representable rate
+		}
+	}
+	sort.Slice(est.Actors, func(i, j int) bool { return est.Actors[i].ActorID < est.Actors[j].ActorID })
+
+	// Eq. 5: per camera, the binding actor is the one with the smallest
+	// tolerable latency among those in the camera's FOV.
+	visible := e.Rig.VisibleSet(ego.Pose, actors)
+	for _, cam := range e.cameras() {
+		l := e.Params.LMax // empty FOV: idle floor (FPR 1)
+		threat := false
+		for _, id := range visible[cam] {
+			if al, ok := latencies[id]; ok && al < l {
+				l = al
+			}
+			if threats[id] {
+				threat = true
+			}
+		}
+		if l < e.Params.LMin {
+			l = e.Params.LMin
+		}
+		est.CameraLatency[cam] = l
+		est.CameraFPR[cam] = 1 / l
+		est.CameraThreat[cam] = threat
+	}
+	return est
+}
+
+// GroundTruthTrajs wraps a single recorded future per actor as the
+// trajectory set (|T| = 1, pre-deployment).
+func GroundTruthTrajs(futures map[string]world.Trajectory) map[string][]world.Trajectory {
+	out := make(map[string][]world.Trajectory, len(futures))
+	for id, tr := range futures {
+		tr.Prob = 1
+		out[id] = []world.Trajectory{tr}
+	}
+	return out
+}
+
+// EstimateOnline runs the Zhuyi model post-deployment: the scene is the
+// perceived world model and futures come from the trajectory predictor
+// (§3.2, Figure 3).
+func (e *Estimator) EstimateOnline(now float64, ego world.Agent, wm []world.Agent, pred predict.Predictor, l0 float64) Estimate {
+	trajs := make(map[string][]world.Trajectory, len(wm))
+	for _, a := range wm {
+		trajs[a.ID] = predict.ForAgent(pred, a, now, e.Params.Horizon, 0.1)
+	}
+	return e.EstimateSnapshot(now, ego, wm, trajs, l0)
+}
+
+// ActorImportance ranks actors by the inverse of their tolerable
+// latency (§3.2 work prioritization: "the inverse of the per-actor
+// tolerable latency estimate is proportional to the actor's
+// importance"). Higher values are more important. Infeasible actors get
+// +Inf.
+func ActorImportance(est Estimate) map[string]float64 {
+	out := make(map[string]float64, len(est.Actors))
+	for _, a := range est.Actors {
+		switch {
+		case !a.Feasible:
+			out[a.ActorID] = math.Inf(1)
+		case a.Latency <= 0:
+			out[a.ActorID] = math.Inf(1)
+		default:
+			out[a.ActorID] = 1 / a.Latency
+		}
+	}
+	return out
+}

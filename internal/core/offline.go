@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// OfflineOptions configures the pre-deployment trace evaluation (§3.1).
+type OfflineOptions struct {
+	// EvalEvery is the evaluation period in seconds (the Zhuyi model is
+	// executed "at each time-step in the scenario trace"; evaluating
+	// every 100 ms keeps series readable while preserving peaks).
+	EvalEvery float64
+	// FutureStride subsamples the recorded future trajectory (rows per
+	// sample); 0 defaults to ~50 ms resolution.
+	FutureStride int
+}
+
+// SeriesPoint is one evaluated instant of an offline run.
+type SeriesPoint struct {
+	Time     float64
+	Latency  map[string]float64 // per camera, s
+	FPR      map[string]float64 // per camera
+	EgoAccel float64
+	Evals    int
+}
+
+// OfflineResult is the full pre-deployment evaluation of one trace.
+type OfflineResult struct {
+	Scenario string
+	RunFPR   float64 // FPR the trace was recorded at (l0 = 1/RunFPR)
+	Points   []SeriesPoint
+	Cameras  []string
+}
+
+// MaxFPR returns the highest per-camera FPR estimate across all
+// evaluated instants and cameras — Table 1's "maximum estimated FPR".
+func (r *OfflineResult) MaxFPR() float64 {
+	max := 0.0
+	for _, pt := range r.Points {
+		for _, f := range pt.FPR {
+			if f > max {
+				max = f
+			}
+		}
+	}
+	return max
+}
+
+// MaxCameraFPR returns the per-camera maxima.
+func (r *OfflineResult) MaxCameraFPR() map[string]float64 {
+	out := make(map[string]float64, len(r.Cameras))
+	for _, pt := range r.Points {
+		for cam, f := range pt.FPR {
+			if f > out[cam] {
+				out[cam] = f
+			}
+		}
+	}
+	return out
+}
+
+// MaxSumFPR returns the maximum over time of the summed per-camera FPR
+// estimates — Table 1's max(F_c1+F_c2+F_c3), the peak total computation
+// demand.
+func (r *OfflineResult) MaxSumFPR() float64 {
+	max := 0.0
+	for _, pt := range r.Points {
+		sum := 0.0
+		for _, f := range pt.FPR {
+			sum += f
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+// MeanSumFPR returns the time-averaged summed per-camera demand — the
+// frame volume a Zhuyi-driven allocator would actually process, versus
+// a fixed provisioning that must hold its rate continuously.
+func (r *OfflineResult) MeanSumFPR() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, pt := range r.Points {
+		for _, f := range pt.FPR {
+			total += f
+		}
+	}
+	return total / float64(len(r.Points))
+}
+
+// CameraSeries extracts the (time, latency) series for one camera, the
+// quantity plotted in Figures 4–6.
+func (r *OfflineResult) CameraSeries(camera string) (times, latencies []float64) {
+	for _, pt := range r.Points {
+		if l, ok := pt.Latency[camera]; ok {
+			times = append(times, pt.Time)
+			latencies = append(latencies, l)
+		}
+	}
+	return times, latencies
+}
+
+// AccelSeries extracts the ego acceleration series (Figures 4e–6e).
+func (r *OfflineResult) AccelSeries() (times, accels []float64) {
+	for _, pt := range r.Points {
+		times = append(times, pt.Time)
+		accels = append(accels, pt.EgoAccel)
+	}
+	return times, accels
+}
+
+// EvaluateTrace runs the Zhuyi model over a recorded scenario trace
+// using ground-truth futures (|T| = 1): the paper's pre-deployment
+// safety evaluator. The current processing latency l0 is taken from the
+// trace metadata (1/FPR).
+func (e *Estimator) EvaluateTrace(tr *trace.Trace, opt OfflineOptions) (*OfflineResult, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if opt.EvalEvery <= 0 {
+		opt.EvalEvery = 0.1
+	}
+	stride := opt.FutureStride
+	if stride <= 0 {
+		stride = int(math.Max(1, 0.05/math.Max(tr.Meta.Dt, 1e-6)))
+	}
+	l0 := 0.0
+	if tr.Meta.FPR > 0 {
+		l0 = 1 / tr.Meta.FPR
+	}
+
+	res := &OfflineResult{
+		Scenario: tr.Meta.Scenario,
+		RunFPR:   tr.Meta.FPR,
+		Cameras:  e.cameras(),
+	}
+
+	rowEvery := int(math.Max(1, math.Round(opt.EvalEvery/math.Max(tr.Meta.Dt, 1e-6))))
+	for i := 0; i < tr.Len(); i += rowEvery {
+		row := tr.Rows[i]
+		futures := make(map[string]world.Trajectory, len(row.Actors))
+		for _, a := range row.Actors {
+			if f, ok := tr.ActorFuture(a.ID, i, e.Params.Horizon, stride); ok {
+				futures[a.ID] = f
+			}
+		}
+		est := e.EstimateSnapshot(row.Time, row.Ego, row.Actors, GroundTruthTrajs(futures), l0)
+		res.Points = append(res.Points, SeriesPoint{
+			Time:     row.Time,
+			Latency:  est.CameraLatency,
+			FPR:      est.CameraFPR,
+			EgoAccel: row.Ego.Accel,
+			Evals:    est.Evals,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+// Package core implements the Zhuyi model (paper §2): the per-actor
+// maximum tolerable perception latency search (Equations 1–3), the
+// multi-trajectory aggregation (Equation 4), the per-camera frame
+// processing rate requirement (Equation 5), the offline pre-deployment
+// trace evaluator (§3.1), the online post-deployment estimator (§3.2),
+// the velocity sensitivity sweep (Figure 8), and the compute-demand
+// accounting (§4.2).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlphaModel selects how the actor confirmation delay α is computed.
+type AlphaModel int
+
+const (
+	// AlphaPaper is the paper's model: α = K·(l − l0), where K is the
+	// number of frames the perception system takes to confirm an actor
+	// and l0 is the processing latency the system is currently running
+	// at. Negative values (l < l0) clamp to zero.
+	AlphaPaper AlphaModel = iota
+	// AlphaZero assumes the system is already operating at the estimated
+	// latency (steady state), so no extra confirmation delay accrues.
+	// The Figure-8 sensitivity sweep uses this model.
+	AlphaZero
+)
+
+// Params are the Zhuyi model parameters. Defaults follow §4.1: C1 = C2 =
+// 0.9, C3 = 4.9 m/s², C4 = 1.1, K = 5, M = 10, and an l-grid of δl =
+// 33 ms spanning 33 ms..1 s (L = 30 steps).
+type Params struct {
+	C1 float64 // distance-constraint conservatism factor (Eq. 1)
+	C2 float64 // velocity-constraint conservatism factor (Eq. 2)
+	C3 float64 // minimum braking deceleration, m/s²
+	C4 float64 // braking-headroom multiplier over current deceleration
+	K  int     // frames to confirm an actor
+	M  int     // max t'_n refinement iterations per latency candidate
+
+	LMax   float64 // largest candidate latency, s
+	LMin   float64 // smallest candidate latency, s
+	DeltaL float64 // latency grid step δl, s
+
+	Horizon float64 // how far into the future t_n may resolve, s
+	NaiveDT float64 // naive t'_n increment, s (also the minimum Eq.-3 step)
+
+	Alpha AlphaModel
+
+	// LateralMargin widens the collision corridor beyond the vehicles'
+	// half-width sum when deciding whether an actor trajectory can
+	// conflict with the ego at all.
+	LateralMargin float64
+
+	// DistanceMargin shrinks the usable gap s_n (meters) and SpeedMargin
+	// shrinks the actor velocity v_an (m/s) before the constraints are
+	// evaluated — the perception-uncertainty extension (§5 future work);
+	// see Uncertainty.Apply. Zero for the exact paper model.
+	DistanceMargin float64
+	SpeedMargin    float64
+
+	// NaiveSearch disables the Eq.-3 accelerated stepping and advances
+	// t'_n by NaiveDT every iteration (with M large enough to cover the
+	// horizon). Used for the ablation benchmark.
+	NaiveSearch bool
+}
+
+// DefaultParams returns the paper's §4.1 configuration.
+func DefaultParams() Params {
+	return Params{
+		C1:            0.9,
+		C2:            0.9,
+		C3:            4.9,
+		C4:            1.1,
+		K:             5,
+		M:             10,
+		LMax:          1.0,
+		LMin:          0.033,
+		DeltaL:        0.033,
+		Horizon:       15.0,
+		NaiveDT:       0.01,
+		Alpha:         AlphaPaper,
+		LateralMargin: 0.3,
+	}
+}
+
+// Steps returns L, the number of latency grid steps (paper: max(l)/δl).
+func (p Params) Steps() int {
+	if p.DeltaL <= 0 {
+		return 1
+	}
+	return int(math.Round(p.LMax / p.DeltaL))
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.C1 <= 0 || p.C1 > 1:
+		return fmt.Errorf("core: C1 = %v out of (0,1]", p.C1)
+	case p.C2 <= 0 || p.C2 > 1.5:
+		return fmt.Errorf("core: C2 = %v out of (0,1.5]", p.C2)
+	case p.C3 <= 0:
+		return fmt.Errorf("core: C3 = %v must be positive", p.C3)
+	case p.C4 < 1:
+		return fmt.Errorf("core: C4 = %v must be >= 1", p.C4)
+	case p.K < 0:
+		return fmt.Errorf("core: K = %d must be >= 0", p.K)
+	case p.M < 1:
+		return fmt.Errorf("core: M = %d must be >= 1", p.M)
+	case p.LMin <= 0 || p.LMax < p.LMin:
+		return fmt.Errorf("core: latency bounds [%v, %v] invalid", p.LMin, p.LMax)
+	case p.DeltaL <= 0:
+		return fmt.Errorf("core: DeltaL = %v must be positive", p.DeltaL)
+	case p.Horizon <= 0:
+		return fmt.Errorf("core: Horizon = %v must be positive", p.Horizon)
+	}
+	return nil
+}
+
+// alpha returns the confirmation delay for candidate latency l at
+// current system latency l0.
+func (p Params) alpha(l, l0 float64) float64 {
+	switch p.Alpha {
+	case AlphaZero:
+		return 0
+	default:
+		a := float64(p.K) * (l - l0)
+		if a < 0 {
+			a = 0
+		}
+		return a
+	}
+}
+
+// brakeDecel returns a_b = max(C3, C4·a0decel) where a0decel is the
+// ego's current deceleration magnitude (zero if it is accelerating).
+func (p Params) brakeDecel(egoAccel float64) float64 {
+	cur := 0.0
+	if egoAccel < 0 {
+		cur = -egoAccel
+	}
+	return math.Max(p.C3, p.C4*cur)
+}

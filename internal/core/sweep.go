@@ -1,0 +1,116 @@
+package core
+
+import "math"
+
+// SweepCell is one cell of the Figure-8 sensitivity analysis: the
+// minimum FPR for an ego at initial speed v_e0 facing an actor whose end
+// velocity is v_an, with a fixed tolerable travel distance s_n.
+type SweepCell struct {
+	VE0         float64 // ego initial speed, m/s
+	VAN         float64 // actor end velocity, m/s
+	FPR         float64 // minimum safe FPR (valid when neither flag set)
+	Latency     float64 // tolerable latency, s
+	ThirtyPlus  bool    // requires more than 1/LMin FPR (rendered gray)
+	Unavoidable bool    // no latency avoids a collision (rendered white)
+}
+
+// SweepResult is the full grid.
+type SweepResult struct {
+	SN    float64 // fixed tolerable distance, m
+	VE0s  []float64
+	VANs  []float64
+	Cells [][]SweepCell // [i][j] = VE0s[i] x VANs[j]
+}
+
+// Sweep computes the Figure-8 grid analytically. The model follows
+// §4.3: the ego travels d_e1 during the reaction time at constant speed
+// (a0 = 0), then brakes at a_b = C3 until it reaches the target velocity
+// C2·v_an; safety requires d_e1 + d_e2 ≤ C1·s_n. The paper's figure
+// marks cells needing more than 30 FPR gray and cells where no
+// processing rate avoids the collision white.
+//
+// l0 is the current system latency used by the AlphaPaper confirmation
+// model; the sweep defaults to AlphaZero (steady state) when p.Alpha is
+// so configured.
+func Sweep(ve0s, vans []float64, sn, l0 float64, p Params) *SweepResult {
+	res := &SweepResult{SN: sn, VE0s: ve0s, VANs: vans}
+	res.Cells = make([][]SweepCell, len(ve0s))
+	for i, ve0 := range ve0s {
+		res.Cells[i] = make([]SweepCell, len(vans))
+		for j, van := range vans {
+			res.Cells[i][j] = sweepCell(ve0, van, sn, l0, p)
+		}
+	}
+	return res
+}
+
+func sweepCell(ve0, van, sn, l0 float64, p Params) SweepCell {
+	cell := SweepCell{VE0: ve0, VAN: van}
+	ab := p.C3 // a0 = 0 in the sweep
+	vTarget := p.C2 * van
+	budget := p.C1 * sn
+
+	var de2 float64
+	if ve0 > vTarget {
+		de2 = (ve0*ve0 - vTarget*vTarget) / (2 * ab)
+	}
+	if de2 > budget {
+		cell.Unavoidable = true
+		return cell
+	}
+	if ve0 <= 0 {
+		cell.Latency = p.LMax
+		cell.FPR = 1 / p.LMax
+		return cell
+	}
+
+	trMax := (budget - de2) / ve0
+	l := latencyFromReaction(trMax, l0, p)
+	if l > p.LMax {
+		l = p.LMax
+	}
+	if l < p.LMin {
+		cell.ThirtyPlus = true
+		cell.Latency = l
+		if l > 0 {
+			cell.FPR = 1 / l
+		} else {
+			cell.FPR = math.Inf(1)
+		}
+		return cell
+	}
+	cell.Latency = l
+	cell.FPR = 1 / l
+	return cell
+}
+
+// latencyFromReaction inverts t_r = l + α(l, l0) for the configured
+// alpha model.
+func latencyFromReaction(tr, l0 float64, p Params) float64 {
+	if tr < 0 {
+		return 0
+	}
+	switch p.Alpha {
+	case AlphaZero:
+		return tr
+	default:
+		// α = K·(l − l0) for l ≥ l0, else 0. Invert piecewise.
+		if tr <= l0 {
+			return tr // α = 0 region
+		}
+		l := (tr + float64(p.K)*l0) / (1 + float64(p.K))
+		if l < l0 {
+			l = l0
+		}
+		return l
+	}
+}
+
+// QuantizeFPR rounds an FPR requirement up to the next whole frame rate,
+// the way Figure 8 bins its cells.
+func QuantizeFPR(fpr float64) int {
+	if math.IsInf(fpr, 1) {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(fpr - 1e-9))
+}

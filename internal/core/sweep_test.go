@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func sweepParams() Params {
+	p := DefaultParams()
+	p.Alpha = AlphaZero // Figure-8 steady-state assumption
+	return p
+}
+
+func TestSweepStreetSpeedsLowFPR(t *testing.T) {
+	// Paper §4.3: "For an ego operating on streets (0-25 mph), both
+	// figures show that FPR <= 2 is enough for safety."
+	p := sweepParams()
+	for _, sn := range []float64{30, 100} {
+		for mph := 0.0; mph <= 25; mph += 2.5 {
+			for vanMPH := 0.0; vanMPH <= 70; vanMPH += 5 {
+				cell := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(vanMPH), sn, 0.033, p)
+				if cell.Unavoidable {
+					continue // impossible combination, rendered white
+				}
+				if cell.ThirtyPlus || QuantizeFPR(cell.FPR) > 2 {
+					t.Errorf("sn=%v ve0=%v mph van=%v mph: FPR %v > 2", sn, mph, vanMPH, cell.FPR)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepHighwayLargeGap(t *testing.T) {
+	// Paper §4.3: for sn = 100 m, "a maximum of only 5 FPR is sufficient
+	// for safe operation" at 25+ mph. Analytically there is a thin
+	// transition band between 5 FPR and the 30+/unavoidable region, so
+	// the structural claim is: the overwhelming majority of feasible
+	// cells need <= 5 FPR, and every higher-FPR cell sits next to the
+	// infeasible boundary (one grid step from a 30+/unavoidable cell).
+	p := sweepParams()
+	lowDemand, feasible := 0, 0
+	for mph := 25.0; mph <= 75; mph += 2.5 {
+		for vanMPH := 0.0; vanMPH <= 75; vanMPH += 2.5 {
+			cell := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(vanMPH), 100, 0.033, p)
+			if cell.Unavoidable || cell.ThirtyPlus {
+				continue
+			}
+			feasible++
+			if QuantizeFPR(cell.FPR) <= 5 {
+				lowDemand++
+				continue
+			}
+			// High-demand cell: its neighbor with a 2.5 mph slower actor
+			// must already be infeasible or 30+.
+			below := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(vanMPH-2.5), 100, 0.033, p)
+			if !below.Unavoidable && !below.ThirtyPlus && QuantizeFPR(below.FPR) <= 5 {
+				t.Errorf("isolated high-FPR cell at ve0=%v van=%v (FPR %v)", mph, vanMPH, cell.FPR)
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible cells at sn=100")
+	}
+	if frac := float64(lowDemand) / float64(feasible); frac < 0.85 {
+		t.Errorf("only %.0f%% of feasible cells need <= 5 FPR; paper reports (nearly) all", frac*100)
+	}
+}
+
+func TestSweepShortGapHighSpeedHard(t *testing.T) {
+	// sn = 30 m at high ego speed and low actor end velocity: high FPR
+	// or unavoidable (paper: "the FPR requirement can be high ... many
+	// such combinations are impossible").
+	p := sweepParams()
+	cell := sweepCell(units.MPHToMPS(70), units.MPHToMPS(0), 30, 0.033, p)
+	if !cell.Unavoidable {
+		t.Errorf("70 mph vs stopped actor at 30 m should be unavoidable: %+v", cell)
+	}
+	// Moderately high speed with a slow actor: demanding but possible.
+	found := false
+	for mph := 30.0; mph <= 60; mph += 2.5 {
+		for vanMPH := 10.0; vanMPH <= 40; vanMPH += 2.5 {
+			c := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(vanMPH), 30, 0.033, p)
+			if !c.Unavoidable && (c.ThirtyPlus || QuantizeFPR(c.FPR) >= 10) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no high-FPR cells found in the sn=30 grid; expected a demanding region")
+	}
+}
+
+func TestSweepMonotoneInActorVelocity(t *testing.T) {
+	// Faster actor end velocity can only relax the requirement.
+	p := sweepParams()
+	ve0 := units.MPHToMPS(50)
+	prev := math.Inf(1)
+	for vanMPH := 0.0; vanMPH <= 70; vanMPH += 5 {
+		cell := sweepCell(ve0, units.MPHToMPS(vanMPH), 100, 0.033, p)
+		var f float64
+		switch {
+		case cell.Unavoidable:
+			f = math.Inf(1)
+		case cell.ThirtyPlus:
+			f = 1000
+		default:
+			f = cell.FPR
+		}
+		if f > prev+1e-9 {
+			t.Fatalf("requirement increased with van: %v after %v (van=%v mph)", f, prev, vanMPH)
+		}
+		prev = f
+	}
+}
+
+func TestSweepGapMonotone(t *testing.T) {
+	// A larger tolerable distance can only relax the requirement.
+	p := sweepParams()
+	a := sweepCell(units.MPHToMPS(50), units.MPHToMPS(20), 30, 0.033, p)
+	b := sweepCell(units.MPHToMPS(50), units.MPHToMPS(20), 100, 0.033, p)
+	severity := func(c SweepCell) float64 {
+		switch {
+		case c.Unavoidable:
+			return math.Inf(1)
+		case c.ThirtyPlus:
+			return 1000
+		default:
+			return c.FPR
+		}
+	}
+	if severity(b) > severity(a) {
+		t.Errorf("sn=100 (%v) harder than sn=30 (%v)", severity(b), severity(a))
+	}
+}
+
+func TestSweepStoppedEgo(t *testing.T) {
+	p := sweepParams()
+	cell := sweepCell(0, 0, 30, 0.033, p)
+	if cell.Unavoidable || cell.ThirtyPlus {
+		t.Errorf("stopped ego: %+v", cell)
+	}
+	if cell.FPR != 1 {
+		t.Errorf("stopped ego FPR = %v, want 1", cell.FPR)
+	}
+}
+
+func TestSweepGridShape(t *testing.T) {
+	p := sweepParams()
+	ve0s := []float64{0, 10, 20}
+	vans := []float64{0, 15}
+	res := Sweep(ve0s, vans, 30, 0.033, p)
+	if len(res.Cells) != 3 || len(res.Cells[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(res.Cells), len(res.Cells[0]))
+	}
+	if res.SN != 30 {
+		t.Errorf("SN = %v", res.SN)
+	}
+	for i, ve0 := range ve0s {
+		for j, van := range vans {
+			if res.Cells[i][j].VE0 != ve0 || res.Cells[i][j].VAN != van {
+				t.Errorf("cell [%d][%d] mislabeled: %+v", i, j, res.Cells[i][j])
+			}
+		}
+	}
+}
+
+func TestSweepAlphaPaperTighterThanZero(t *testing.T) {
+	// With the paper's confirmation-delay model, the same reaction
+	// budget maps to a smaller tolerable latency (α > 0 for l > l0), so
+	// requirements are at least as strict.
+	pZero := sweepParams()
+	pPaper := DefaultParams() // AlphaPaper
+	for _, mph := range []float64{20, 40, 60} {
+		zero := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(10), 100, 0.033, pZero)
+		paper := sweepCell(units.MPHToMPS(mph), units.MPHToMPS(10), 100, 0.033, pPaper)
+		if zero.Unavoidable != paper.Unavoidable {
+			t.Errorf("mph=%v: unavoidable flags differ", mph)
+			continue
+		}
+		if zero.Unavoidable {
+			continue
+		}
+		if paper.Latency > zero.Latency+1e-9 {
+			t.Errorf("mph=%v: paper alpha latency %v exceeds zero-alpha %v", mph, paper.Latency, zero.Latency)
+		}
+	}
+}
+
+func TestLatencyFromReactionInversion(t *testing.T) {
+	p := DefaultParams() // AlphaPaper, K=5
+	l0 := 0.1
+	for _, l := range []float64{0.05, 0.1, 0.3, 0.7} {
+		tr := l + p.alpha(l, l0)
+		got := latencyFromReaction(tr, l0, p)
+		if math.Abs(got-l) > 1e-9 {
+			t.Errorf("l=%v: inverted to %v (tr=%v)", l, got, tr)
+		}
+	}
+	if got := latencyFromReaction(-1, l0, p); got != 0 {
+		t.Errorf("negative reaction: %v", got)
+	}
+}
+
+func TestQuantizeFPR(t *testing.T) {
+	if got := QuantizeFPR(2.0); got != 2 {
+		t.Errorf("QuantizeFPR(2.0) = %d", got)
+	}
+	if got := QuantizeFPR(2.1); got != 3 {
+		t.Errorf("QuantizeFPR(2.1) = %d", got)
+	}
+	if got := QuantizeFPR(math.Inf(1)); got != math.MaxInt32 {
+		t.Errorf("QuantizeFPR(inf) = %d", got)
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// AblationRow is one parameter setting's effect on the offline
+// estimates of a reference scenario trace.
+type AblationRow struct {
+	Label     string
+	MaxFPR    float64 // max estimated FPR over the trace
+	MaxSumFPR float64
+	Evals     int // total constraint evaluations over the trace
+}
+
+// ablationTrace records the reference trace all ablations evaluate (the
+// cut-out-fast scenario at 30 FPR, seed 1) and returns an evaluator
+// that re-runs the offline Zhuyi model over it with custom parameters.
+func ablationTrace() func(core.Params, core.AggregateOptions) (AblationRow, error) {
+	sc, _ := scenario.ByName(scenario.CutOutFast)
+	res, err := metrics.RunScenario(sc, 30, 1)
+	eval := func(p core.Params, agg core.AggregateOptions) (AblationRow, error) {
+		if err != nil {
+			return AblationRow{}, err
+		}
+		e := core.NewEstimator()
+		e.Params = p
+		e.Agg = agg
+		off, err2 := e.EvaluateTrace(res.Trace, core.OfflineOptions{})
+		if err2 != nil {
+			return AblationRow{}, err2
+		}
+		evals := 0
+		for _, pt := range off.Points {
+			evals += pt.Evals
+		}
+		return AblationRow{MaxFPR: off.MaxFPR(), MaxSumFPR: off.MaxSumFPR(), Evals: evals}, nil
+	}
+	return eval
+}
+
+// ConfirmationDepthAblation sweeps the confirmation depth K
+// (DESIGN.md §5): deeper confirmation inflates the reaction time and
+// the estimated rates.
+func ConfirmationDepthAblation(ks []int) ([]AblationRow, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 3, 5, 8}
+	}
+	eval := ablationTrace()
+	var rows []AblationRow
+	for _, k := range ks {
+		p := core.DefaultParams()
+		p.K = k
+		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("K=%d", k)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AlphaModelAblation compares the paper's confirmation-delay model with
+// the steady-state assumption on the same trace.
+func AlphaModelAblation() ([]AblationRow, error) {
+	eval := ablationTrace()
+	var rows []AblationRow
+	for _, mode := range []struct {
+		label string
+		alpha core.AlphaModel
+	}{
+		{"alpha=K(l-l0) (paper)", core.AlphaPaper},
+		{"alpha=0 (steady state)", core.AlphaZero},
+	} {
+		p := core.DefaultParams()
+		p.Alpha = mode.alpha
+		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = mode.label
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SearchModeAblation compares the Eq.-3 accelerated stepping against
+// naive fixed stepping — the paper's performance optimization.
+func SearchModeAblation() ([]AblationRow, error) {
+	eval := ablationTrace()
+	var rows []AblationRow
+	for _, mode := range []struct {
+		label string
+		naive bool
+	}{
+		{"eq3 accelerated", false},
+		{"naive 10ms steps", true},
+	} {
+		p := core.DefaultParams()
+		p.NaiveSearch = mode.naive
+		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = mode.label
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// UncertaintyAblation sweeps the perception-uncertainty extension's
+// position sigma (§5 future work implemented in core.Uncertainty).
+func UncertaintyAblation(sigmas []float64) ([]AblationRow, error) {
+	if len(sigmas) == 0 {
+		sigmas = []float64{0, 0.5, 1, 2}
+	}
+	eval := ablationTrace()
+	var rows []AblationRow
+	for _, sigma := range sigmas {
+		p := core.Uncertainty{PosSigma: sigma, SpeedSigma: sigma / 2}.Apply(core.DefaultParams())
+		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("sigma=%.1fm", sigma)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAblation renders ablation rows.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-26s %10s %10s %12s\n", "setting", "maxFPR", "maxSum", "evals")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %10.1f %10.1f %12d\n", r.Label, r.MaxFPR, r.MaxSumFPR, r.Evals)
+	}
+}
+
+// AggregationAblation compares Eq. 4 modes on the online estimator
+// (multi-hypothesis predictions make the modes diverge): the Figure-7
+// flow with each aggregation.
+type AggregationRow struct {
+	Label      string
+	MinLatency float64 // tightest online front-camera latency, s
+	Variance   float64 // vs the offline ground truth
+}
+
+// AggregationAblation runs the cut-in online estimation under each
+// aggregation mode.
+func AggregationAblation() ([]AggregationRow, error) {
+	modes := []struct {
+		label string
+		agg   core.AggregateOptions
+	}{
+		{"pessimistic (max FPR)", core.AggregateOptions{Mode: core.AggPessimistic}},
+		{"p99", core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99}},
+		{"p90", core.AggregateOptions{Mode: core.AggPercentile, Percentile: 90}},
+		{"weighted mean", core.AggregateOptions{Mode: core.AggMean}},
+	}
+	var rows []AggregationRow
+	for _, m := range modes {
+		s, err := figure7WithAgg(30, 1, m.agg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AggregationRow{
+			Label:      m.label,
+			MinLatency: s.MinOnline(),
+			Variance:   s.Variance(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAggregationAblation renders the comparison.
+func WriteAggregationAblation(w io.Writer, rows []AggregationRow) {
+	fmt.Fprintf(w, "# Eq.-4 aggregation modes on the online Cut-in estimates\n")
+	fmt.Fprintf(w, "%-24s %16s %14s\n", "mode", "min latency(ms)", "variance(s²)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %16.0f %14.4f\n", r.Label, r.MinLatency*1000, r.Variance)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// CSV export for every experiment artifact, so results can be plotted
+// with external tools (the paper's figures are line charts and
+// heatmaps; the text renderers in this package are terminal-friendly
+// approximations).
+
+// Table1CSV writes Table-1 rows as CSV.
+func Table1CSV(w io.Writer, rows []Table1Row, grid []float64) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "ego_mph", "front", "right", "left", "mrf"}
+	for _, f := range grid {
+		header = append(header, "est_at_"+strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	header = append(header, "max_sum_fpr", "fraction")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rec := []string{
+			row.Scenario,
+			fmtF(row.EgoSpeedMPH),
+			fmt.Sprintf("%v", row.Front),
+			fmt.Sprintf("%v", row.Right),
+			fmt.Sprintf("%v", row.Left),
+			row.MRF.String(),
+		}
+		for _, f := range grid {
+			v := row.Estimates[f]
+			if math.IsNaN(v) {
+				rec = append(rec, "NA")
+			} else {
+				rec = append(rec, fmtF(v))
+			}
+		}
+		rec = append(rec, fmtF(row.MaxSumFPR), fmtF(row.Fraction))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesCSV writes a Figure-4/5/6 per-camera latency series as CSV.
+func SeriesCSV(w io.Writer, fs *FigureSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "left_ms", "front_ms", "right_ms", "ego_accel"}); err != nil {
+		return err
+	}
+	for i := range fs.Times {
+		rec := []string{
+			fmtF(fs.Times[i]),
+			fmtF(fs.Left[i] * 1000),
+			fmtF(fs.Front[i] * 1000),
+			fmtF(fs.Right[i] * 1000),
+			fmtF(fs.Accel[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OnlineCSV writes the Figure-7 online-vs-offline series as CSV.
+func OnlineCSV(w io.Writer, s *OnlineSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "online_ms", "offline_ms"}); err != nil {
+		return err
+	}
+	for i := range s.Times {
+		rec := []string{
+			fmtF(s.Times[i]),
+			fmtF(s.Front[i] * 1000),
+			fmtF(s.Offline[i] * 1000),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepCSV writes the Figure-8 grid as CSV: one row per (ve0, van) cell
+// with the FPR or a sentinel status.
+func SweepCSV(w io.Writer, res *core.SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sn_m", "ve0_mph", "van_mph", "status", "min_fpr"}); err != nil {
+		return err
+	}
+	for i, rowCells := range res.Cells {
+		for j, cell := range rowCells {
+			status := "ok"
+			fpr := fmtF(cell.FPR)
+			switch {
+			case cell.Unavoidable:
+				status, fpr = "unavoidable", ""
+			case cell.ThirtyPlus:
+				status = "thirty_plus"
+			}
+			rec := []string{
+				fmtF(res.SN),
+				fmtF(units.MPSToMPH(res.VE0s[i])),
+				fmtF(units.MPSToMPH(res.VANs[j])),
+				status,
+				fpr,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// HeadlineCSV writes the closed-loop comparison as CSV.
+func HeadlineCSV(w io.Writer, rows []HeadlineRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "baseline_frames", "zhuyi_frames", "fraction", "baseline_safe", "zhuyi_safe", "alarms", "worst_action"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Scenario,
+			strconv.Itoa(r.BaselineFrames),
+			strconv.Itoa(r.ZhuyiFrames),
+			fmtF(r.FrameFraction),
+			fmt.Sprintf("%v", r.BaselineSafe),
+			fmt.Sprintf("%v", r.ZhuyiSafe),
+			strconv.Itoa(r.Alarms),
+			r.WorstAction.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compute"
+)
+
+// Figure1Data is the throughput-demand comparison of the paper's
+// Figure 1.
+type Figure1Data struct {
+	Curve  []compute.CurvePoint
+	Xavier compute.SoC
+	Orin   compute.SoC
+	Config compute.DemandConfig
+}
+
+// Figure1 computes the camera-perception demand curve against the two
+// SoCs' offered throughput.
+func Figure1() Figure1Data {
+	cfg := compute.DefaultDemand()
+	return Figure1Data{
+		Curve:  cfg.DemandCurve(cfg.Cameras),
+		Xavier: compute.Xavier(),
+		Orin:   compute.Orin(),
+		Config: cfg,
+	}
+}
+
+// WriteFigure1 renders the demand curve and SoC capacities.
+func WriteFigure1(w io.Writer, d Figure1Data) {
+	fmt.Fprintf(w, "# camera perception throughput demand (%s @ %g FPR, +%.0f%% extra models)\n",
+		d.Config.Model.Name, d.Config.FPR, d.Config.ExtraModelFrac*100)
+	fmt.Fprintf(w, "%8s %12s %24s\n", "cameras", "demand TOPS", "")
+	for _, pt := range d.Curve {
+		marks := ""
+		if pt.TOPS > d.Xavier.TOPS {
+			marks += " >xavier"
+		}
+		if pt.TOPS > d.Orin.TOPS {
+			marks += " >orin"
+		}
+		fmt.Fprintf(w, "%8d %12.1f %24s\n", pt.Cameras, pt.TOPS, marks)
+	}
+	fmt.Fprintf(w, "# %s offers %.0f TOPS (max %d cameras at %g FPR)\n",
+		d.Xavier.Name, d.Xavier.TOPS, d.Config.MaxCameras(d.Xavier), d.Config.FPR)
+	fmt.Fprintf(w, "# %s offers %.0f TOPS (max %d cameras at %g FPR)\n",
+		d.Orin.Name, d.Orin.TOPS, d.Config.MaxCameras(d.Orin), d.Config.FPR)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/safety"
+	"repro/internal/scenario"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+)
+
+// HeadlineRow compares a closed-loop Zhuyi-controlled run against the
+// fixed 30-FPR baseline for one scenario: the abstract's claim that
+// "the system can maintain safety by processing only 36% or fewer
+// frames compared to a default 30-FPR system".
+type HeadlineRow struct {
+	Scenario       string
+	BaselineFrames int     // frames processed by the fixed 30-FPR system
+	ZhuyiFrames    int     // frames processed under the Zhuyi controller
+	FrameFraction  float64 // Zhuyi / baseline
+	BaselineSafe   bool
+	ZhuyiSafe      bool
+	Alarms         int
+	WorstAction    safety.Action
+}
+
+// Headline runs every scenario twice — fixed 30 FPR and Zhuyi-
+// controlled — and reports frames processed and safety outcomes.
+func Headline(seed int64) ([]HeadlineRow, error) {
+	var rows []HeadlineRow
+	for _, sc := range scenario.All() {
+		row, err := headlineRow(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func headlineRow(sc scenario.Scenario, seed int64) (HeadlineRow, error) {
+	row := HeadlineRow{Scenario: sc.Name}
+
+	base, err := sim.Run(sc.Build(30, seed))
+	if err != nil {
+		return row, err
+	}
+	row.BaselineSafe = !base.Collided()
+	row.BaselineFrames = totalFrames(base)
+
+	cfg := sc.Build(30, seed)
+	est := core.NewEstimator()
+	est.Cameras = est.Rig.Names() // the controller manages every camera
+	ctrl := safety.NewController(
+		est,
+		predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
+		safety.DefaultControllerConfig(),
+	)
+	cfg.RateController = ctrl
+	cfg.FPR = 30 // start at the provisioned rate; the controller lowers it
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return row, err
+	}
+	row.ZhuyiSafe = !res.Collided()
+	row.ZhuyiFrames = totalFrames(res)
+	if row.BaselineFrames > 0 {
+		row.FrameFraction = float64(row.ZhuyiFrames) / float64(row.BaselineFrames)
+	}
+	row.Alarms = ctrl.AlarmCount()
+	row.WorstAction = ctrl.WorstAction()
+	return row, nil
+}
+
+func totalFrames(res *sim.Result) int {
+	total := 0
+	for _, n := range res.FramesProcessed {
+		total += n
+	}
+	return total
+}
+
+// WriteHeadline renders the comparison table.
+func WriteHeadline(w io.Writer, rows []HeadlineRow) {
+	fmt.Fprintf(w, "%-28s %10s %10s %9s %9s %9s %8s %s\n",
+		"Scenario", "base-frm", "zhuyi-frm", "fraction", "base-safe", "zhuyi-safe", "alarms", "action")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10d %10d %9.2f %9v %9v %8d %s\n",
+			r.Scenario, r.BaselineFrames, r.ZhuyiFrames, r.FrameFraction,
+			r.BaselineSafe, r.ZhuyiSafe, r.Alarms, r.WorstAction)
+	}
+}
+
+// MaxFrameFraction returns the largest Zhuyi/baseline frame ratio
+// across rows.
+func MaxFrameFraction(rows []HeadlineRow) float64 {
+	max := 0.0
+	for _, r := range rows {
+		if r.FrameFraction > max {
+			max = r.FrameFraction
+		}
+	}
+	return max
+}
+
+// AllSafe reports whether every Zhuyi-controlled run avoided collision.
+func AllSafe(rows []HeadlineRow) bool {
+	for _, r := range rows {
+		if !r.ZhuyiSafe {
+			return false
+		}
+	}
+	return true
+}
+
+// PrioritizationRow compares Zhuyi-prioritized allocation against a
+// uniform split of the same total frame budget — §3.2's work
+// prioritization under constrained resources.
+type PrioritizationRow struct {
+	Scenario    string
+	Budget      float64
+	UniformSafe bool
+	ZhuyiSafe   bool
+}
+
+// Prioritization runs a scenario under a constrained total budget with
+// both allocators.
+func Prioritization(name string, budget float64, seed int64) (PrioritizationRow, error) {
+	row := PrioritizationRow{Scenario: name, Budget: budget}
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return row, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+
+	uniform := sc.Build(30, seed)
+	if uniform.Rig == nil {
+		uniform.Rig = sensor.DefaultRig()
+	}
+	uniform.RateController = safety.UniformRates{Cameras: uniform.Rig.Names(), Budget: budget}
+	ures, err := sim.Run(uniform)
+	if err != nil {
+		return row, err
+	}
+	row.UniformSafe = !ures.Collided()
+
+	prioritized := sc.Build(30, seed)
+	est := core.NewEstimator()
+	est.Cameras = est.Rig.Names()
+	cfg := safety.DefaultControllerConfig()
+	cfg.Budget = budget
+	prioritized.RateController = safety.NewController(
+		est,
+		predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
+		cfg,
+	)
+	pres, err := sim.Run(prioritized)
+	if err != nil {
+		return row, err
+	}
+	row.ZhuyiSafe = !pres.Collided()
+	return row, nil
+}

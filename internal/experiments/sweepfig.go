@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Figure8 computes the velocity sensitivity grid for a fixed tolerable
+// distance (the paper shows sn = 30 m and sn = 100 m). Axes run in mph
+// as in the paper; the sweep uses the steady-state alpha model (see
+// core.Sweep).
+func Figure8(snMeters float64) *core.SweepResult {
+	p := core.DefaultParams()
+	p.Alpha = core.AlphaZero
+	var ve0s, vans []float64
+	for mph := 0.0; mph <= 75; mph += 2.5 {
+		ve0s = append(ve0s, units.MPHToMPS(mph))
+		vans = append(vans, units.MPHToMPS(mph))
+	}
+	return core.Sweep(ve0s, vans, snMeters, p.LMin, p)
+}
+
+// WriteSweep renders the grid as an ASCII heatmap in the paper's
+// encoding: '.' for unavoidable (white), '#' for 30+ FPR (gray), and a
+// compact digit/letter for the minimum FPR otherwise (1-9, then a=10+,
+// b=15+, c=20+).
+func WriteSweep(w io.Writer, res *core.SweepResult) {
+	fmt.Fprintf(w, "# minimum FPR for sn = %.0f m ('.'=unavoidable, '#'=30+)\n", res.SN)
+	fmt.Fprintf(w, "# rows: ego speed v_e0 (mph, top=0); cols: actor end velocity v_an (mph, left=0)\n")
+	for i, rowCells := range res.Cells {
+		fmt.Fprintf(w, "%5.1f mph |", units.MPSToMPH(res.VE0s[i]))
+		for _, cell := range rowCells {
+			fmt.Fprintf(w, " %c", cellRune(cell))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func cellRune(c core.SweepCell) rune {
+	switch {
+	case c.Unavoidable:
+		return '.'
+	case c.ThirtyPlus:
+		return '#'
+	default:
+		q := core.QuantizeFPR(c.FPR)
+		switch {
+		case q <= 9:
+			return rune('0' + q)
+		case q < 15:
+			return 'a'
+		case q < 20:
+			return 'b'
+		default:
+			return 'c'
+		}
+	}
+}
+
+// SweepSummary aggregates a grid for tests and reports.
+type SweepSummary struct {
+	SN           float64
+	Feasible     int
+	Unavoidable  int
+	ThirtyPlus   int
+	MaxFPR       int // largest quantized FPR among feasible cells
+	StreetMaxFPR int // largest quantized FPR for v_e0 <= 25 mph
+}
+
+// Summarize computes the SweepSummary.
+func Summarize(res *core.SweepResult) SweepSummary {
+	s := SweepSummary{SN: res.SN}
+	for i, rowCells := range res.Cells {
+		mph := units.MPSToMPH(res.VE0s[i])
+		for _, cell := range rowCells {
+			switch {
+			case cell.Unavoidable:
+				s.Unavoidable++
+			case cell.ThirtyPlus:
+				s.ThirtyPlus++
+			default:
+				s.Feasible++
+				q := core.QuantizeFPR(cell.FPR)
+				if q > s.MaxFPR {
+					s.MaxFPR = q
+				}
+				if mph <= 25 && q > s.StreetMaxFPR {
+					s.StreetMaxFPR = q
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+// Package metrics implements the paper's validation measurements: the
+// minimum required FPR (MRF) search — "the FPR above which no collision
+// was detected in the scenario" (§4.2) — run over multiple seeds to
+// absorb simulation nondeterminism, and per-run summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// DefaultFPRGrid is the set of tested rates from Table 1.
+func DefaultFPRGrid() []float64 {
+	return []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30}
+}
+
+// MRF is the result of a minimum-required-FPR search.
+type MRF struct {
+	Scenario   string
+	Value      float64         // minimum safe FPR; 0 encodes "<1" (safe at every tested rate)
+	Collisions map[float64]int // tested FPR -> collision count across seeds
+	Seeds      int
+}
+
+// BelowGrid reports whether the scenario was safe even at the lowest
+// tested rate (the paper prints these as "<1").
+func (m MRF) BelowGrid() bool { return m.Value == 0 }
+
+// String renders the MRF the way Table 1 does.
+func (m MRF) String() string {
+	if m.BelowGrid() {
+		return "<1"
+	}
+	return fmt.Sprintf("%g", m.Value)
+}
+
+// RunScenario executes one seeded run of a scenario at a fixed FPR.
+func RunScenario(sc scenario.Scenario, fpr float64, seed int64) (*sim.Result, error) {
+	return sim.Run(sc.Build(fpr, seed))
+}
+
+// FindMRF runs the scenario at every rate in fprs (ascending) with the
+// given number of seeds and returns the minimum rate from which no
+// collision occurs at that rate or any higher tested rate. Runs execute
+// concurrently across (fpr, seed) pairs.
+func FindMRF(sc scenario.Scenario, fprs []float64, seeds int) (MRF, error) {
+	res := MRF{Scenario: sc.Name, Collisions: make(map[float64]int, len(fprs)), Seeds: seeds}
+
+	type key struct {
+		fpr  float64
+		seed int64
+	}
+	type outcome struct {
+		k        key
+		collided bool
+		err      error
+	}
+	jobs := make([]key, 0, len(fprs)*seeds)
+	for _, f := range fprs {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, key{fpr: f, seed: int64(s + 1)})
+		}
+	}
+
+	out := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunScenario(sc, j.fpr, j.seed)
+			if err != nil {
+				out <- outcome{k: j, err: err}
+				return
+			}
+			out <- outcome{k: j, collided: r.Collided()}
+		}(j)
+	}
+	wg.Wait()
+	close(out)
+
+	for o := range out {
+		if o.err != nil {
+			return res, fmt.Errorf("metrics: scenario %s fpr %g seed %d: %w", sc.Name, o.k.fpr, o.k.seed, o.err)
+		}
+		if o.collided {
+			res.Collisions[o.k.fpr]++
+		}
+	}
+
+	// MRF: the lowest tested rate such that it and every higher tested
+	// rate are collision-free.
+	mrf := 0.0
+	for i := len(fprs) - 1; i >= 0; i-- {
+		if res.Collisions[fprs[i]] > 0 {
+			if i == len(fprs)-1 {
+				mrf = math.Inf(1) // unsafe even at the highest tested rate
+			} else {
+				mrf = fprs[i+1]
+			}
+			break
+		}
+	}
+	res.Value = mrf
+	return res, nil
+}
+
+// CollisionRate runs the scenario n times at the given FPR with seeds
+// 1..n and returns the fraction that collided.
+func CollisionRate(sc scenario.Scenario, fpr float64, n int) (float64, error) {
+	collisions := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		r, err := RunScenario(sc, fpr, seed)
+		if err != nil {
+			return 0, err
+		}
+		if r.Collided() {
+			collisions++
+		}
+	}
+	return float64(collisions) / float64(n), nil
+}

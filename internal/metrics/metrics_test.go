@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestDefaultFPRGridMatchesTable1(t *testing.T) {
+	grid := DefaultFPRGrid()
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30}
+	if len(grid) != len(want) {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Errorf("grid[%d] = %v, want %v", i, grid[i], want[i])
+		}
+	}
+}
+
+func TestMRFString(t *testing.T) {
+	if got := (MRF{Value: 0}).String(); got != "<1" {
+		t.Errorf("below-grid MRF = %q", got)
+	}
+	if got := (MRF{Value: 5}).String(); got != "5" {
+		t.Errorf("MRF = %q", got)
+	}
+	if !(MRF{Value: 0}).BelowGrid() {
+		t.Error("BelowGrid false for 0")
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	sc, ok := scenario.ByName(scenario.FrontRightActivity1)
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := RunScenario(sc, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collided() {
+		t.Errorf("benign scenario collided: %+v", res.Collision)
+	}
+	if res.Trace.Len() == 0 {
+		t.Error("empty trace")
+	}
+	if res.Trace.Meta.FPR != 10 || res.Trace.Meta.Seed != 1 {
+		t.Errorf("trace meta = %+v", res.Trace.Meta)
+	}
+}
+
+func TestFindMRFBenignScenario(t *testing.T) {
+	// The benign activity scenario is safe at every tested rate: MRF <1.
+	sc, _ := scenario.ByName(scenario.FrontRightActivity1)
+	m, err := FindMRF(sc, []float64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.BelowGrid() {
+		t.Errorf("MRF = %v, want <1", m.Value)
+	}
+	if m.Seeds != 2 || m.Scenario != scenario.FrontRightActivity1 {
+		t.Errorf("result = %+v", m)
+	}
+}
+
+func TestFindMRFCutOut(t *testing.T) {
+	// The cut-out collides at 1 FPR and is safe at higher rates, so MRF
+	// lands strictly above 1 on a {1, 6, 30} grid.
+	sc, _ := scenario.ByName(scenario.CutOut)
+	m, err := FindMRF(sc, []float64{1, 6, 30}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BelowGrid() {
+		t.Error("cut-out MRF <1; expected collisions at 1 FPR")
+	}
+	if math.IsInf(m.Value, 1) {
+		t.Error("cut-out unsafe even at 30 FPR")
+	}
+	if m.Collisions[1] == 0 {
+		t.Error("no collisions recorded at 1 FPR")
+	}
+}
+
+func TestCollisionRate(t *testing.T) {
+	sc, _ := scenario.ByName(scenario.FrontRightActivity1)
+	rate, err := CollisionRate(sc, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("benign collision rate = %v", rate)
+	}
+}

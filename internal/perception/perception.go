@@ -1,0 +1,286 @@
+// Package perception simulates the AV's camera perception stack at the
+// fidelity Zhuyi is sensitive to. Real DNN perception is replaced by a
+// measurement model with the same latency structure (see DESIGN.md):
+//
+//   - each camera only produces measurements when a frame is processed,
+//     so all tracks go stale between frames at low processing rates;
+//   - a new object must be detected in K consecutive processed frames
+//     before it is confirmed and exposed to the planner — the actor
+//     confirmation delay the paper models as α = K·(l − l0);
+//   - measurements carry seeded Gaussian noise and a detection
+//     probability, producing the run-to-run variance the paper averages
+//     over ten runs.
+//
+// Track states are estimated with an independent g-h-k (alpha-beta-gamma)
+// filter per axis, so position, velocity, and acceleration estimates lag
+// reality by an amount that grows as the frame interval grows.
+package perception
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+// Config tunes the simulated perception stack.
+type Config struct {
+	ConfirmFrames int     // K: consecutive detections to confirm a track
+	MaxMisses     int     // processed-frame misses before a track drops
+	DetectProb    float64 // per-frame detection probability of a visible actor
+	PosNoise      float64 // std-dev of position measurement noise, m
+	VelNoise      float64 // std-dev of velocity measurement noise, m/s
+	Alpha         float64 // g-h-k position gain
+	Beta          float64 // g-h-k velocity gain
+	Gamma         float64 // g-h-k acceleration gain
+	VelGain       float64 // direct velocity-measurement blend gain
+	MaxAccelEst   float64 // clamp on the acceleration estimate, m/s²
+}
+
+// DefaultConfig matches the paper's perception parameters where given
+// (K = 5) and uses typical tracker gains elsewhere.
+func DefaultConfig() Config {
+	return Config{
+		ConfirmFrames: 5,
+		MaxMisses:     8,
+		DetectProb:    1.0,
+		PosNoise:      0.25,
+		VelNoise:      0.5,
+		Alpha:         0.6,
+		Beta:          0.4,
+		Gamma:         0.08,
+		VelGain:       0.5,
+		MaxAccelEst:   12,
+	}
+}
+
+// axisFilter is a g-h-k filter along one world axis.
+type axisFilter struct {
+	X, V, A float64
+}
+
+func (f *axisFilter) predict(dt float64) {
+	f.X += f.V*dt + 0.5*f.A*dt*dt
+	f.V += f.A * dt
+}
+
+// update fuses a position measurement z and a direct velocity
+// measurement zv. The g-h-k position-residual gains divide by the frame
+// interval, so with irregular schedules (dynamic frame rates) a short
+// interval would amplify position noise into huge velocity/acceleration
+// corrections; the direct velocity blend and the acceleration clamp
+// keep the estimate physical.
+func (f *axisFilter) update(z, zv, dt float64, cfg Config) {
+	r := z - f.X
+	f.X += cfg.Alpha * r
+	if dt > 0 {
+		f.V += cfg.Beta / dt * r
+		f.A += 2 * cfg.Gamma / (dt * dt) * r
+	}
+	if cfg.VelGain > 0 {
+		f.V += cfg.VelGain * (zv - f.V)
+	}
+	if cfg.MaxAccelEst > 0 {
+		if f.A > cfg.MaxAccelEst {
+			f.A = cfg.MaxAccelEst
+		}
+		if f.A < -cfg.MaxAccelEst {
+			f.A = -cfg.MaxAccelEst
+		}
+	}
+}
+
+// Track is the pipeline's estimate of one actor.
+type Track struct {
+	ID          string
+	Confirmed   bool
+	Hits        int // consecutive detections while unconfirmed
+	Misses      int // consecutive missed frames
+	FirstSeen   float64
+	ConfirmedAt float64
+	LastUpdate  float64
+	Length      float64
+	Width       float64
+
+	fx, fy axisFilter
+}
+
+// State coasts the track estimate to time t and returns it as an agent.
+func (tk *Track) State(t float64) world.Agent {
+	dt := t - tk.LastUpdate
+	x := tk.fx
+	y := tk.fy
+	x.predict(dt)
+	y.predict(dt)
+	vel := geom.V(x.V, y.V)
+	speed := vel.Len()
+	heading := vel.Angle()
+	if speed < 0.3 {
+		heading = 0 // slow/static targets: keep a stable heading
+	}
+	// Longitudinal acceleration: projection of the estimated acceleration
+	// onto the velocity direction (or its magnitude for slow targets).
+	accel := geom.V(x.A, y.A).Dot(vel.Unit())
+	if speed < 0.3 {
+		accel = 0
+	}
+	return world.Agent{
+		ID:     tk.ID,
+		Pose:   geom.Pose{Pos: geom.V(x.X, y.X), Heading: heading},
+		Speed:  speed,
+		Accel:  accel,
+		Length: tk.Length,
+		Width:  tk.Width,
+		Static: speed < 0.3,
+	}
+}
+
+// Pipeline is the camera perception stack: it consumes processed frames
+// and maintains the set of tracks that form the perceived world model.
+type Pipeline struct {
+	cfg Config
+	rng *rand.Rand
+
+	tracks map[string]*Track
+
+	// Stats.
+	FramesProcessed int
+	Detections      int
+	Confirmations   int
+}
+
+// NewPipeline builds a pipeline with the given config and noise seed.
+func NewPipeline(cfg Config, seed int64) *Pipeline {
+	return &Pipeline{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		tracks: make(map[string]*Track),
+	}
+}
+
+// ProcessFrame ingests one processed camera frame at time t. cam is the
+// camera whose frame this is; ego is the ground-truth ego agent; actors
+// are the ground-truth actors (the frame "sees" those inside the
+// camera's FOV and not occluded).
+func (p *Pipeline) ProcessFrame(cam sensor.Camera, t float64, ego world.Agent, actors []world.Agent) {
+	p.FramesProcessed++
+	visible := sensor.VisibleActors(cam, ego.Pose, actors)
+	detected := make(map[string]bool, len(visible))
+
+	for _, a := range visible {
+		if p.rng.Float64() > p.cfg.DetectProb {
+			continue // missed detection
+		}
+		detected[a.ID] = true
+		p.Detections++
+		p.updateTrack(a, t)
+	}
+
+	// Tracks whose estimate lies in this camera's FOV but were not
+	// detected this frame accumulate misses.
+	for id, tk := range p.tracks {
+		if detected[id] {
+			continue
+		}
+		est := tk.State(t)
+		if !cam.SeesAgent(ego.Pose, est) {
+			continue // not this camera's responsibility
+		}
+		tk.Misses++
+		if !tk.Confirmed {
+			tk.Hits = 0 // confirmation requires consecutive detections
+		}
+		if tk.Misses > p.cfg.MaxMisses {
+			delete(p.tracks, id)
+		}
+	}
+}
+
+func (p *Pipeline) updateTrack(a world.Agent, t float64) {
+	zx := a.Pose.Pos.X + p.rng.NormFloat64()*p.cfg.PosNoise
+	zy := a.Pose.Pos.Y + p.rng.NormFloat64()*p.cfg.PosNoise
+	vel := a.Velocity()
+	zvx := vel.X + p.rng.NormFloat64()*p.cfg.VelNoise
+	zvy := vel.Y + p.rng.NormFloat64()*p.cfg.VelNoise
+
+	tk, ok := p.tracks[a.ID]
+	if !ok {
+		tk = &Track{
+			ID:        a.ID,
+			FirstSeen: t,
+			Length:    a.Length,
+			Width:     a.Width,
+			fx:        axisFilter{X: zx, V: zvx},
+			fy:        axisFilter{X: zy, V: zvy},
+		}
+		tk.Hits = 1
+		tk.LastUpdate = t
+		p.tracks[a.ID] = tk
+		p.maybeConfirm(tk, t)
+		return
+	}
+
+	dt := t - tk.LastUpdate
+	tk.fx.predict(dt)
+	tk.fy.predict(dt)
+	tk.fx.update(zx, zvx, dt, p.cfg)
+	tk.fy.update(zy, zvy, dt, p.cfg)
+	tk.LastUpdate = t
+	tk.Misses = 0
+	if !tk.Confirmed {
+		tk.Hits++
+		p.maybeConfirm(tk, t)
+	}
+}
+
+func (p *Pipeline) maybeConfirm(tk *Track, t float64) {
+	if !tk.Confirmed && tk.Hits >= p.cfg.ConfirmFrames {
+		tk.Confirmed = true
+		tk.ConfirmedAt = t
+		p.Confirmations++
+	}
+}
+
+// WorldModel returns the perceived world model at time t: every
+// confirmed track coasted to t. The result is sorted by ID for
+// determinism.
+func (p *Pipeline) WorldModel(t float64) []world.Agent {
+	var out []world.Agent
+	for _, tk := range p.tracks {
+		if !tk.Confirmed {
+			continue
+		}
+		out = append(out, tk.State(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Tracks returns all current tracks (confirmed or not), sorted by ID.
+func (p *Pipeline) Tracks() []*Track {
+	var out []*Track
+	for _, tk := range p.tracks {
+		out = append(out, tk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Track returns the track for the given actor ID, if present.
+func (p *Pipeline) Track(id string) (*Track, bool) {
+	tk, ok := p.tracks[id]
+	return tk, ok
+}
+
+// ConfirmationDelay returns how long the given actor took from first
+// sighting to confirmation, or NaN if it is not confirmed.
+func (p *Pipeline) ConfirmationDelay(id string) float64 {
+	tk, ok := p.tracks[id]
+	if !ok || !tk.Confirmed {
+		return math.NaN()
+	}
+	return tk.ConfirmedAt - tk.FirstSeen
+}

@@ -1,0 +1,112 @@
+// Package plot renders numeric series as terminal-friendly sparklines
+// and ASCII line charts, used by the experiment generators to
+// approximate the paper's figures in text output.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block glyphs used by Sparkline, low to high.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a one-line bar sparkline scaled to
+// [min, max] of the data. Empty input yields an empty string; NaN
+// samples render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// Downsample reduces a series to at most n points by taking the extreme
+// value (farthest from the series mean) inside each bucket, preserving
+// the peaks a plain stride would miss.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	mean := 0.0
+	cnt := 0
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			mean += v
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		mean /= float64(cnt)
+	}
+	out := make([]float64, 0, n)
+	bucket := float64(len(values)) / float64(n)
+	for i := 0; i < n; i++ {
+		start := int(float64(i) * bucket)
+		end := int(float64(i+1) * bucket)
+		if end > len(values) {
+			end = len(values)
+		}
+		if start >= end {
+			continue
+		}
+		best := values[start]
+		for _, v := range values[start:end] {
+			if math.IsNaN(best) || (!math.IsNaN(v) && math.Abs(v-mean) > math.Abs(best-mean)) {
+				best = v
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// Line writes a labeled sparkline with its min/max range.
+func Line(w io.Writer, label string, values []float64, width int) {
+	ds := Downsample(values, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "%-12s (no data)\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%-12s %s  [%.3g .. %.3g]\n", label, Sparkline(ds), lo, hi)
+}

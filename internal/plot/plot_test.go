@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparklineBasic(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input")
+	}
+	// Constant series: all glyphs identical.
+	s := []rune(Sparkline([]float64{5, 5, 5}))
+	if s[0] != s[1] || s[1] != s[2] {
+		t.Errorf("constant series = %q", string(s))
+	}
+	// All-NaN series: spaces.
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); strings.TrimSpace(got) != "" {
+		t.Errorf("NaN series = %q", got)
+	}
+	// Mixed NaN renders as a space.
+	got := []rune(Sparkline([]float64{1, math.NaN(), 2}))
+	if got[1] != ' ' {
+		t.Errorf("NaN cell = %q", string(got))
+	}
+}
+
+func TestSparklineLengthQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		return len([]rune(Sparkline(vals))) == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownsamplePreservesPeak(t *testing.T) {
+	// A single spike in a flat series must survive downsampling.
+	vals := make([]float64, 1000)
+	vals[637] = 100
+	ds := Downsample(vals, 50)
+	if len(ds) != 50 {
+		t.Fatalf("downsampled length = %d", len(ds))
+	}
+	found := false
+	for _, v := range ds {
+		if v == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("peak lost in downsampling")
+	}
+}
+
+func TestDownsampleShortInput(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if got := Downsample(vals, 10); len(got) != 3 {
+		t.Errorf("short input resampled: %v", got)
+	}
+	if got := Downsample(vals, 0); len(got) != 3 {
+		t.Errorf("zero width resampled: %v", got)
+	}
+}
+
+func TestLineRendering(t *testing.T) {
+	var sb strings.Builder
+	Line(&sb, "front", []float64{1, 0.5, 0.1, 0.5, 1}, 5)
+	out := sb.String()
+	if !strings.Contains(out, "front") || !strings.Contains(out, "0.1") {
+		t.Errorf("line = %q", out)
+	}
+	sb.Reset()
+	Line(&sb, "empty", []float64{math.NaN()}, 5)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty line = %q", sb.String())
+	}
+}

@@ -1,0 +1,102 @@
+// Package render draws recorded traces as ego-relative ASCII top views,
+// a quick way to inspect scenario choreography (cut-ins, reveals,
+// braking waves) without plotting tools. The viewport follows the ego:
+// columns are longitudinal meters (left edge behind the ego), rows are
+// lateral meters (top = left of the ego).
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Viewport describes the rendered window in ego-relative meters.
+type Viewport struct {
+	Back         float64 // meters behind the ego (left edge)
+	Ahead        float64 // meters ahead of the ego (right edge)
+	Half         float64 // lateral half-width
+	ColsPerMeter float64
+	RowsPerMeter float64
+}
+
+// DefaultViewport covers 20 m behind to 100 m ahead and ±7 m laterally.
+func DefaultViewport() Viewport {
+	return Viewport{Back: 20, Ahead: 100, Half: 7, ColsPerMeter: 1, RowsPerMeter: 0.5}
+}
+
+func (v Viewport) cols() int { return int((v.Back + v.Ahead) * v.ColsPerMeter) }
+func (v Viewport) rows() int { return int(2*v.Half*v.RowsPerMeter) + 1 }
+
+// Frame renders one trace row. The ego is drawn as 'E' (facing right),
+// actors as the upper-cased first rune of their IDs, and collisions are
+// annotated in the header.
+func Frame(row trace.Row, v Viewport) string {
+	cols, rows := v.cols(), v.rows()
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+
+	put := func(a world.Agent, glyph byte) {
+		local := row.Ego.Pose.ToLocal(a.Pose.Pos)
+		span := int(math.Max(1, a.Length*v.ColsPerMeter))
+		for d := -span / 2; d <= span/2; d++ {
+			x := local.X + float64(d)/v.ColsPerMeter
+			c := int((x + v.Back) * v.ColsPerMeter)
+			r := int((v.Half - local.Y) * v.RowsPerMeter)
+			if c < 0 || c >= cols || r < 0 || r >= rows {
+				continue
+			}
+			grid[r][c] = glyph
+		}
+	}
+
+	for _, a := range row.Actors {
+		glyph := byte('?')
+		if len(a.ID) > 0 {
+			glyph = byte(strings.ToUpper(a.ID[:1])[0])
+		}
+		put(a, glyph)
+	}
+	put(row.Ego, 'E')
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%6.2fs  v=%5.2f m/s  a=%6.2f m/s²", row.Time, row.Ego.Speed, row.Ego.Accel)
+	if row.AEB {
+		sb.WriteString("  [AEB]")
+	}
+	sb.WriteByte('\n')
+	for _, line := range grid {
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Strip renders frames sampled every `every` seconds across the whole
+// trace, separated by blank lines. A collision annotation closes the
+// strip when the trace recorded one.
+func Strip(tr *trace.Trace, every float64, v Viewport) string {
+	if every <= 0 {
+		every = 1
+	}
+	var sb strings.Builder
+	next := 0.0
+	for i := range tr.Rows {
+		row := tr.Rows[i]
+		if row.Time+1e-9 < next {
+			continue
+		}
+		sb.WriteString(Frame(row, v))
+		sb.WriteByte('\n')
+		next = row.Time + every
+	}
+	if tr.Collision != nil {
+		fmt.Fprintf(&sb, "COLLISION with %s at t=%.2fs\n", tr.Collision.ActorID, tr.Collision.Time)
+	}
+	return sb.String()
+}

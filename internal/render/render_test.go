@@ -1,0 +1,122 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func sampleRow() trace.Row {
+	return trace.Row{
+		Time: 2.5,
+		Ego: world.Agent{
+			ID: world.EgoID, Pose: geom.Pose{Pos: geom.V(100, 3.5)},
+			Speed: 20, Accel: -3, Length: 4.6, Width: 1.9,
+		},
+		Actors: []world.Agent{
+			{ID: "lead", Pose: geom.Pose{Pos: geom.V(140, 3.5)}, Speed: 15, Length: 4.6, Width: 1.9},
+			{ID: "side", Pose: geom.Pose{Pos: geom.V(100, 7)}, Speed: 20, Length: 4.6, Width: 1.9},
+		},
+		AEB: true,
+	}
+}
+
+func TestFrameContainsAgents(t *testing.T) {
+	out := Frame(sampleRow(), DefaultViewport())
+	if !strings.Contains(out, "E") {
+		t.Error("ego missing")
+	}
+	if !strings.Contains(out, "L") {
+		t.Error("lead missing")
+	}
+	if !strings.Contains(out, "S") {
+		t.Error("side actor missing")
+	}
+	if !strings.Contains(out, "[AEB]") {
+		t.Error("AEB flag missing")
+	}
+	if !strings.Contains(out, "t=  2.50s") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestFrameGeometry(t *testing.T) {
+	v := DefaultViewport()
+	out := Frame(sampleRow(), v)
+	lines := strings.Split(out, "\n")
+	// Header + rows() lines.
+	if len(lines) < v.rows()+1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The lead is 40 m ahead in the same lane: same row as the ego,
+	// farther right.
+	var egoRow, egoCol, leadCol int = -1, -1, -1
+	for r, line := range lines[1:] {
+		if c := strings.IndexByte(line, 'E'); c >= 0 {
+			egoRow, egoCol = r, c
+		}
+		if c := strings.IndexByte(line, 'L'); c >= 0 {
+			if r != egoRow && egoRow != -1 {
+				t.Errorf("lead row %d != ego row %d", r, egoRow)
+			}
+			leadCol = c
+		}
+	}
+	if egoCol < 0 || leadCol < 0 {
+		t.Fatal("glyphs not found")
+	}
+	if leadCol <= egoCol {
+		t.Errorf("lead col %d not ahead of ego col %d", leadCol, egoCol)
+	}
+	// ~40 m ahead at 1 col/m.
+	if d := leadCol - egoCol; d < 35 || d > 45 {
+		t.Errorf("lead offset = %d cols, want ~40", d)
+	}
+	// The left-lane actor renders above the ego (smaller row index).
+	sideRow := -1
+	for r, line := range lines[1:] {
+		if strings.IndexByte(line, 'S') >= 0 {
+			sideRow = r
+		}
+	}
+	if sideRow >= egoRow {
+		t.Errorf("left actor row %d not above ego row %d", sideRow, egoRow)
+	}
+}
+
+func TestFrameClipsOutOfView(t *testing.T) {
+	row := sampleRow()
+	row.Actors = append(row.Actors, world.Agent{
+		ID: "far", Pose: geom.Pose{Pos: geom.V(500, 3.5)}, Length: 4.6, Width: 1.9,
+	})
+	out := Frame(row, DefaultViewport())
+	if strings.Contains(out, "F") {
+		t.Error("out-of-view actor rendered")
+	}
+}
+
+func TestStripSamplingAndCollision(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i <= 300; i++ {
+		row := sampleRow()
+		row.Time = float64(i) * 0.01
+		tr.Rows = append(tr.Rows, row)
+	}
+	tr.Collision = &trace.Collision{Time: 3.0, ActorID: "lead"}
+	out := Strip(tr, 1.0, DefaultViewport())
+	// Frames at t=0, 1, 2, 3 -> 4 headers (the collision line also
+	// contains "t=", so count the velocity field instead).
+	if got := strings.Count(out, "m/s²"); got != 4 {
+		t.Errorf("header fields = %d, want 4", got)
+	}
+	if !strings.Contains(out, "COLLISION with lead") {
+		t.Error("collision annotation missing")
+	}
+	// Zero interval defaults to 1 s.
+	if got := strings.Count(Strip(tr, 0, DefaultViewport()), "m/s²"); got != 4 {
+		t.Errorf("default interval header fields = %d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package safety
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/world"
+)
+
+// OcclusionGuard implements the second of the paper's §5 future-work
+// directions: "accounting for occlusions in the world model, and
+// incorporating yet-to-be-detected objects."
+//
+// A tracked actor in the ego's corridor hides everything behind it. The
+// guard assumes the worst case the paper's Cut-out scenario realizes —
+// a static obstacle sitting just beyond the occluder, revealed the
+// moment the occluder departs — runs the Zhuyi latency search for that
+// hypothetical obstacle, and floors the rates of the cameras that would
+// have to confirm it. Rates therefore stay high while the corridor is
+// occluded even though the visible world model looks benign.
+type OcclusionGuard struct {
+	Estimator *core.Estimator
+	// Clearance is the assumed gap between the occluder's rear and the
+	// hidden obstacle, m (how optimistic the guard is about hidden
+	// space). Small values are more conservative.
+	Clearance float64
+	// CorridorHalfWidth bounds which world-model actors count as
+	// corridor occluders.
+	CorridorHalfWidth float64
+}
+
+// NewOcclusionGuard builds a guard with conventional defaults.
+func NewOcclusionGuard(est *core.Estimator) *OcclusionGuard {
+	return &OcclusionGuard{Estimator: est, Clearance: 8, CorridorHalfWidth: 2.2}
+}
+
+// Floors returns per-camera minimum FPRs implied by hidden corridor
+// regions, empty when the corridor is clear. l0 is the current
+// processing latency used by the confirmation-delay model.
+func (g *OcclusionGuard) Floors(ego world.Agent, wm []world.Agent, l0 float64) map[string]float64 {
+	occluderDist, found := g.nearestOccluder(ego, wm)
+	if !found {
+		return nil
+	}
+	hidden := occluderDist + g.Clearance
+	latency := g.hiddenObstacleLatency(ego, hidden, l0)
+
+	p := g.Estimator.Params
+	var fpr float64
+	switch {
+	case latency <= 0: // unavoidable if an obstacle lurks there: saturate
+		fpr = 1 / p.LMin
+	default:
+		fpr = 1 / latency
+	}
+
+	floors := make(map[string]float64, 2)
+	// The cameras that must confirm the revealed obstacle are those
+	// whose FOV covers the corridor at the hidden distance.
+	probe := ego.Pose.ToWorld(geom.V(hidden, 0))
+	for _, cam := range g.Estimator.Rig {
+		if cam.SeesPoint(ego.Pose, probe) {
+			floors[cam.Name] = fpr
+		}
+	}
+	return floors
+}
+
+// nearestOccluder returns the bumper distance to the closest
+// world-model actor ahead of the ego inside its corridor.
+func (g *OcclusionGuard) nearestOccluder(ego world.Agent, wm []world.Agent) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for _, a := range wm {
+		local := ego.Pose.ToLocal(a.Pose.Pos)
+		if math.Abs(local.Y) > g.CorridorHalfWidth {
+			continue
+		}
+		dist := local.X + a.Length/2 // far edge of the occluder
+		if local.X < ego.Length/2 {
+			continue // beside or behind
+		}
+		if dist < best {
+			best = dist
+			found = true
+		}
+	}
+	return best, found
+}
+
+// hiddenObstacleLatency runs the Zhuyi search for a hypothetical static
+// obstacle at the given distance ahead of the ego.
+func (g *OcclusionGuard) hiddenObstacleLatency(ego world.Agent, dist float64, l0 float64) float64 {
+	p := g.Estimator.Params
+	pos := ego.Pose.ToWorld(geom.V(dist, 0))
+	pts := []world.TrajectoryPoint{
+		{T: 0, Pos: pos},
+		{T: p.Horizon, Pos: pos},
+	}
+	traj := world.Trajectory{ActorID: "hidden", Prob: 1, Points: pts}
+	res := core.TolerableLatency(core.EgoFromAgent(ego), traj, [2]float64{4.0, 1.9}, l0, p)
+	if !res.Feasible {
+		return 0
+	}
+	return res.Latency
+}

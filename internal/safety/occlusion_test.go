@@ -1,0 +1,113 @@
+package safety
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+func leadAt(dist, speed float64) world.Agent {
+	return world.Agent{ID: "lead", Pose: geom.Pose{Pos: geom.V(dist, 0)}, Speed: speed, Length: 4.6, Width: 1.9}
+}
+
+func TestGuardNoOccluderNoFloors(t *testing.T) {
+	g := NewOcclusionGuard(core.NewEstimator())
+	if floors := g.Floors(egoAgent(25), nil, 0.033); len(floors) != 0 {
+		t.Errorf("floors on empty corridor: %v", floors)
+	}
+	// An adjacent-lane actor is not a corridor occluder.
+	side := world.Agent{ID: "side", Pose: geom.Pose{Pos: geom.V(20, 3.5)}, Speed: 25, Length: 4.6, Width: 1.9}
+	if floors := g.Floors(egoAgent(25), []world.Agent{side}, 0.033); len(floors) != 0 {
+		t.Errorf("floors for adjacent-lane actor: %v", floors)
+	}
+	// An actor behind the ego occludes nothing ahead.
+	rear := world.Agent{ID: "rear", Pose: geom.Pose{Pos: geom.V(-20, 0)}, Speed: 25, Length: 4.6, Width: 1.9}
+	if floors := g.Floors(egoAgent(25), []world.Agent{rear}, 0.033); len(floors) != 0 {
+		t.Errorf("floors for rear actor: %v", floors)
+	}
+}
+
+func TestGuardFloorsFrontCameras(t *testing.T) {
+	g := NewOcclusionGuard(core.NewEstimator())
+	floors := g.Floors(egoAgent(17.9), []world.Agent{leadAt(30, 17.9)}, 0.033)
+	if len(floors) == 0 {
+		t.Fatal("no floors for an occluded corridor")
+	}
+	if _, ok := floors[sensor.Front120]; !ok {
+		t.Errorf("front camera not floored: %v", floors)
+	}
+	if _, ok := floors[sensor.Rear]; ok {
+		t.Errorf("rear camera floored: %v", floors)
+	}
+	if floors[sensor.Front120] <= 1 {
+		t.Errorf("front floor = %v, want > 1", floors[sensor.Front120])
+	}
+}
+
+func TestGuardFloorMonotoneInOccluderDistance(t *testing.T) {
+	// A closer occluder hides closer space: the floor must not decrease
+	// as the occluder approaches.
+	g := NewOcclusionGuard(core.NewEstimator())
+	prev := 0.0
+	for _, dist := range []float64{120, 80, 50, 35, 25} {
+		floors := g.Floors(egoAgent(20), []world.Agent{leadAt(dist, 20)}, 0.033)
+		f := floors[sensor.Front120]
+		if f < prev-1e-9 {
+			t.Fatalf("floor decreased as occluder closed: %v after %v (dist %v)", f, prev, dist)
+		}
+		prev = f
+	}
+	if prev <= 1 {
+		t.Errorf("closest occluder floor = %v, want demanding", prev)
+	}
+}
+
+func TestGuardSaturatesWhenHiddenObstacleUnavoidable(t *testing.T) {
+	g := NewOcclusionGuard(core.NewEstimator())
+	g.Clearance = 2
+	// 35 m/s with an occluder 20 m ahead: a hidden obstacle at ~26 m is
+	// unavoidable, so the floor saturates at 1/LMin.
+	floors := g.Floors(egoAgent(35), []world.Agent{leadAt(20, 35)}, 0.033)
+	want := 1 / g.Estimator.Params.LMin
+	if floors[sensor.Front120] < want-1e-6 {
+		t.Errorf("floor = %v, want saturation %v", floors[sensor.Front120], want)
+	}
+}
+
+func TestGuardUsesNearestOccluder(t *testing.T) {
+	g := NewOcclusionGuard(core.NewEstimator())
+	near := g.Floors(egoAgent(20), []world.Agent{leadAt(30, 20)}, 0.033)
+	both := g.Floors(egoAgent(20), []world.Agent{leadAt(90, 20), leadAt(30, 20)}, 0.033)
+	if near[sensor.Front120] != both[sensor.Front120] {
+		t.Errorf("nearest occluder not binding: %v vs %v", near[sensor.Front120], both[sensor.Front120])
+	}
+}
+
+func TestControllerWithGuardKeepsRatesUpBehindLead(t *testing.T) {
+	// Following a benign lead: without the guard the front camera can
+	// relax toward the idle floor; with the guard it must stay at the
+	// hidden-obstacle vigilance level.
+	mk := func(guard bool) float64 {
+		est := core.NewEstimator()
+		est.Cameras = est.Rig.Names()
+		c := newTestController(DefaultControllerConfig())
+		c.Estimator = est
+		if guard {
+			c.Guard = NewOcclusionGuard(est)
+		}
+		// A slow, far lead whose own estimate is mild.
+		var last map[string]float64
+		for i := 0; i < 30; i++ {
+			last = c.Rates(float64(i)*0.1, egoAgent(15), []world.Agent{leadAt(60, 15)})
+		}
+		return last[sensor.Front120]
+	}
+	without := mk(false)
+	with := mk(true)
+	if with < without {
+		t.Errorf("guarded rate %v below unguarded %v", with, without)
+	}
+}

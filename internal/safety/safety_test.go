@@ -1,0 +1,247 @@
+package safety
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/predict"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+func estWith(front, left, right float64) core.Estimate {
+	return core.Estimate{
+		Time: 1,
+		CameraFPR: map[string]float64{
+			sensor.Front120: front,
+			sensor.Left:     left,
+			sensor.Right:    right,
+		},
+	}
+}
+
+func TestCheckAllMeeting(t *testing.T) {
+	est := estWith(5, 1, 1)
+	res := Check(est, map[string]float64{sensor.Front120: 10, sensor.Left: 2, sensor.Right: 2})
+	if !res.OK || len(res.Alarms) != 0 || res.Action != ActionNone {
+		t.Errorf("check = %+v", res)
+	}
+}
+
+func TestCheckRaisesAlarm(t *testing.T) {
+	est := estWith(8, 1, 1)
+	res := Check(est, map[string]float64{sensor.Front120: 6, sensor.Left: 2, sensor.Right: 2})
+	if res.OK || len(res.Alarms) != 1 {
+		t.Fatalf("check = %+v", res)
+	}
+	a := res.Alarms[0]
+	if a.Camera != sensor.Front120 || a.Required != 8 || a.Operating != 6 {
+		t.Errorf("alarm = %+v", a)
+	}
+	if res.Action != ActionRaiseRate {
+		t.Errorf("action = %v, want raise-rate", res.Action)
+	}
+}
+
+func TestCheckEscalation(t *testing.T) {
+	// Operating at less than half triggers limited functionality; less
+	// than a third triggers emergency backup.
+	est := estWith(9, 1, 1)
+	res := Check(est, map[string]float64{sensor.Front120: 5, sensor.Left: 1, sensor.Right: 1})
+	if res.Action != ActionLimitedFunctionality {
+		t.Errorf("action = %v, want limited-functionality", res.Action)
+	}
+	res = Check(est, map[string]float64{sensor.Front120: 2, sensor.Left: 1, sensor.Right: 1})
+	if res.Action != ActionEmergencyBackup {
+		t.Errorf("action = %v, want emergency-backup", res.Action)
+	}
+}
+
+func TestAlarmSeverity(t *testing.T) {
+	a := Alarm{Required: 10, Operating: 5}
+	if got := a.Severity(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("severity = %v", got)
+	}
+	z := Alarm{Required: 10, Operating: 0}
+	if !math.IsInf(z.Severity(), 1) {
+		t.Errorf("zero operating severity = %v", z.Severity())
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{
+		ActionNone:                 "none",
+		ActionRaiseRate:            "raise-rate",
+		ActionLimitedFunctionality: "limited-functionality",
+		ActionEmergencyBackup:      "emergency-backup",
+		Action(99):                 "unknown",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func newTestController(cfg ControllerConfig) *Controller {
+	est := core.NewEstimator()
+	pred := predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1}
+	return NewController(est, pred, cfg)
+}
+
+func egoAgent(speed float64) world.Agent {
+	return world.Agent{ID: world.EgoID, Pose: geom.Pose{Pos: geom.V(0, 0)}, Speed: speed, Length: 4.6, Width: 1.9}
+}
+
+func threatAgent(dist float64) world.Agent {
+	return world.Agent{ID: "obs", Pose: geom.Pose{Pos: geom.V(dist, 0)}, Length: 4, Width: 1.9, Static: true}
+}
+
+func TestControllerRaisesFrontUnderThreat(t *testing.T) {
+	c := newTestController(DefaultControllerConfig())
+	rates := c.Rates(0, egoAgent(30), []world.Agent{threatAgent(90)})
+	if rates[sensor.Front120] <= rates[sensor.Left] {
+		t.Errorf("front %v not prioritized over left %v", rates[sensor.Front120], rates[sensor.Left])
+	}
+	if rates[sensor.Left] != c.Cfg.MinFPR {
+		t.Errorf("idle left camera rate = %v, want floor %v", rates[sensor.Left], c.Cfg.MinFPR)
+	}
+}
+
+func TestControllerFloorsAndCaps(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	cfg.MinFPR = 2
+	cfg.MaxFPR = 20
+	c := newTestController(cfg)
+	// Unavoidable threat: estimate saturates; cap applies.
+	rates := c.Rates(0, egoAgent(35), []world.Agent{threatAgent(20)})
+	if rates[sensor.Front120] != 20 {
+		t.Errorf("front rate = %v, want cap 20", rates[sensor.Front120])
+	}
+	// Empty world: floor applies everywhere.
+	c2 := newTestController(cfg)
+	rates = c2.Rates(0, egoAgent(30), nil)
+	for cam, r := range rates {
+		if r != 2 {
+			t.Errorf("camera %s rate = %v, want floor 2", cam, r)
+		}
+	}
+}
+
+func TestControllerHysteresisDecay(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	cfg.DecaySec = 4
+	c := newTestController(cfg)
+	// Threat present: front rate rises.
+	r1 := c.Rates(0, egoAgent(30), []world.Agent{threatAgent(90)})
+	high := r1[sensor.Front120]
+	if high <= cfg.MinFPR {
+		t.Fatalf("front rate = %v, expected elevated", high)
+	}
+	// Threat vanishes: rate must decay at most DecaySec per second, not
+	// collapse instantly.
+	r2 := c.Rates(0.1, egoAgent(30), nil)
+	wantFloor := high - 4*0.1
+	if r2[sensor.Front120] < wantFloor-1e-9 {
+		t.Errorf("front rate dropped to %v, floor %v", r2[sensor.Front120], wantFloor)
+	}
+	// After enough time it settles at the per-camera floor.
+	last := r2[sensor.Front120]
+	for i := 2; i < 100; i++ {
+		r := c.Rates(float64(i)*0.1, egoAgent(30), nil)
+		if r[sensor.Front120] > last+1e-9 {
+			t.Fatalf("rate increased without threat at step %d", i)
+		}
+		last = r[sensor.Front120]
+	}
+	if last != cfg.MinFPR {
+		t.Errorf("final rate = %v, want floor %v", last, cfg.MinFPR)
+	}
+}
+
+func TestControllerBudgetPreservesEstimates(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	cfg.Budget = 12
+	cfg.Margin = 3
+	c := newTestController(cfg)
+	// A moderate threat whose estimate fits inside the budget.
+	rates := c.Rates(0, egoAgent(20), []world.Agent{threatAgent(140)})
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	if total > cfg.Budget+1e-6 {
+		t.Errorf("total rate %v exceeds budget %v", total, cfg.Budget)
+	}
+	// The binding camera is prioritized over the idle side cameras.
+	if rates[sensor.Front120] <= rates[sensor.Left] {
+		t.Errorf("front %v not prioritized over left %v under budget", rates[sensor.Front120], rates[sensor.Left])
+	}
+}
+
+func TestControllerImpossibleBudgetKeepsFloors(t *testing.T) {
+	// When even the raw estimates exceed the budget, the controller
+	// scales down but never starves a camera below MinFPR — the floors
+	// may then overshoot the budget slightly, and the safety check is
+	// what reports the shortfall.
+	cfg := DefaultControllerConfig()
+	cfg.Budget = 12
+	cfg.Margin = 3
+	c := newTestController(cfg)
+	rates := c.Rates(0, egoAgent(35), []world.Agent{threatAgent(25)}) // saturating threat
+	for cam, r := range rates {
+		if r < cfg.MinFPR-1e-9 {
+			t.Errorf("camera %s starved below MinFPR: %v", cam, r)
+		}
+	}
+	if rates[sensor.Front120] <= rates[sensor.Left] {
+		t.Error("saturating front threat not prioritized")
+	}
+}
+
+func TestControllerBudgetOverflowScales(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	cfg.Budget = 4 // below even the floors of five cameras
+	c := newTestController(cfg)
+	rates := c.Rates(0, egoAgent(30), []world.Agent{threatAgent(60)})
+	for cam, r := range rates {
+		if r < cfg.MinFPR-1e-9 {
+			t.Errorf("camera %s below MinFPR: %v", cam, r)
+		}
+	}
+	// With the budget impossible to honor, safety checks accumulate
+	// alarms on subsequent evaluations.
+	c.Rates(0.1, egoAgent(30), []world.Agent{threatAgent(50)})
+	if c.AlarmCount() == 0 {
+		t.Error("no alarms under an impossible budget")
+	}
+	if c.WorstAction() == ActionNone {
+		t.Error("no action recommended under an impossible budget")
+	}
+}
+
+func TestControllerChecksLog(t *testing.T) {
+	c := newTestController(DefaultControllerConfig())
+	c.Rates(0, egoAgent(30), []world.Agent{threatAgent(100)})
+	c.Rates(0.1, egoAgent(30), []world.Agent{threatAgent(95)})
+	c.Rates(0.2, egoAgent(30), []world.Agent{threatAgent(90)})
+	if len(c.Checks()) != 2 { // first call has no prior rates to check
+		t.Errorf("checks logged = %d, want 2", len(c.Checks()))
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	u := UniformRates{Cameras: []string{"a", "b", "c"}, Budget: 9}
+	rates := u.Rates(0, world.Agent{}, nil)
+	for _, cam := range u.Cameras {
+		if rates[cam] != 3 {
+			t.Errorf("camera %s = %v, want 3", cam, rates[cam])
+		}
+	}
+	empty := UniformRates{}
+	if len(empty.Rates(0, world.Agent{}, nil)) != 0 {
+		t.Error("empty uniform rates not empty")
+	}
+}

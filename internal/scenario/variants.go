@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"repro/internal/behavior"
+	"repro/internal/road"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// Extra operational-design-domain variants beyond the paper's nine
+// validation scenarios. The paper motivates Zhuyi partly as an ODD
+// exploration tool ("help architects to discover new optimization
+// opportunities for different ODDs", §1); these variants exercise the
+// model on geometries the nine do not cover: platoons, heavy vehicles,
+// crossing agents, and dense traffic.
+const (
+	HighwayPlatoon = "highway-platoon"
+	TruckCutOut    = "truck-cut-out"
+	UrbanCrosser   = "urban-crosser"
+	DenseTraffic   = "dense-traffic"
+)
+
+// Variants returns the extra scenarios.
+func Variants() []Scenario {
+	return []Scenario{
+		{
+			Name:          HighwayPlatoon,
+			Description:   "Ego trails a three-vehicle platoon at 65 mph; the platoon leader hard-brakes and the braking wave propagates",
+			EgoSpeedMPH:   65,
+			FrontActivity: true,
+			Build:         buildHighwayPlatoon,
+		},
+		{
+			Name:          TruckCutOut,
+			Description:   "Cut-out with a box truck as the occluder: a longer occlusion shadow and a later reveal",
+			EgoSpeedMPH:   35,
+			FrontActivity: true, RightActivity: true, LeftActivity: true,
+			Build: buildTruckCutOut,
+		},
+		{
+			Name:          UrbanCrosser,
+			Description:   "A crossing agent traverses the road laterally ahead of the ego at urban speed",
+			EgoSpeedMPH:   25,
+			FrontActivity: true, RightActivity: true,
+			Build: buildUrbanCrosser,
+		},
+		{
+			Name:          DenseTraffic,
+			Description:   "Six surrounding actors at 45 mph; the lead brakes moderately",
+			EgoSpeedMPH:   45,
+			FrontActivity: true, RightActivity: true, LeftActivity: true,
+			Build: buildDenseTraffic,
+		},
+	}
+}
+
+// AllWithVariants returns the nine paper scenarios followed by the
+// variants.
+func AllWithVariants() []Scenario { return append(All(), Variants()...) }
+
+// VariantByName looks a variant up by name (ByName only covers the nine
+// paper scenarios).
+func VariantByName(name string) (Scenario, bool) {
+	for _, s := range Variants() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+func buildHighwayPlatoon(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(65)
+	r := road.NewStraight(3, 8000)
+	cfg := baseConfig(HighwayPlatoon, fpr, seed, r, 1, v)
+	// Three platoon vehicles ahead at ~30 m spacing; the leader brakes
+	// hard at t≈6 and the followers react with small delays, producing
+	// the braking wave the ego must absorb last.
+	gaps := []float64{35, 68, 101}
+	for i, g := range gaps {
+		spec := sim.ActorSpec{
+			ID:     []string{"p1", "p2", "p3"}[i],
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: g, D: r.LaneCenterOffset(1), Speed: v},
+		}
+		switch i {
+		case 2: // platoon leader
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(6, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.3 * v, Decel: j.val(6.0, 0.08)},
+			})
+		case 1:
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(6.8, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.28 * v, Decel: j.val(6.5, 0.08)},
+			})
+		default:
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(7.5, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.26 * v, Decel: j.val(7.0, 0.08)},
+			})
+		}
+		cfg.Actors = append(cfg.Actors, spec)
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+func buildTruckCutOut(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(35)
+	r := road.NewStraight(3, 5000)
+	cfg := baseConfig(TruckCutOut, fpr, seed, r, 1, v)
+	truck := vehicle.Truck()
+	obstacleS := 90.0
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "truck",
+			Params: truck,
+			Init:   vehicle.FrenetState{S: 24 + truck.Length/2, D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtStation(obstacleS - j.val(20, 0.08)),
+				Do:   &behavior.LaneChange{TargetLane: 2, Duration: j.val(2.4, 0.1)},
+			}),
+		},
+		{
+			ID:     "obstacle",
+			Params: vehicle.StaticObstacle(),
+			Init:   vehicle.FrenetState{S: obstacleS, D: r.LaneCenterOffset(1)},
+		},
+		{
+			ID:     "right-blocker",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(3, 0.5), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.MatchBeside{OffsetS: j.val(3, 0.5), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+func buildUrbanCrosser(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(25)
+	r := road.NewStraight(3, 3000)
+	cfg := baseConfig(UrbanCrosser, fpr, seed, r, 1, v)
+	// The crosser starts on the right shoulder ahead of the ego and
+	// traverses the road laterally at walking-fast pace while drifting
+	// slowly forward.
+	crosser := vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3}
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "crosser",
+			Params: crosser,
+			Init:   vehicle.FrenetState{S: j.val(55, 0.1), D: r.LaneCenterOffset(0) - 3.0, Speed: 0.5},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.WhenEgoWithin(j.val(50, 0.1)),
+				Do:   &behavior.Drift{LatVel: j.val(1.8, 0.1), Duration: 7},
+			}),
+		},
+		{
+			ID:     "parked",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: 40, D: r.LaneCenterOffset(0) - 2.6},
+		},
+	}
+	cfg.Duration = 20
+	return cfg
+}
+
+func buildDenseTraffic(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(45)
+	r := road.NewStraight(3, 6000)
+	cfg := baseConfig(DenseTraffic, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "lead",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: 32, D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(5, 0.2)),
+				Do:   &behavior.BrakeTo{Target: 0.6 * v, Decel: j.val(3.5, 0.1)},
+			}),
+		},
+		{
+			ID:     "left-front",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(18, 0.2), D: r.LaneCenterOffset(2), Speed: v},
+		},
+		{
+			ID:     "left-rear",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-15, 0.2), D: r.LaneCenterOffset(2), Speed: 1.02 * v},
+		},
+		{
+			ID:     "right-front",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(22, 0.2), D: r.LaneCenterOffset(0), Speed: 0.97 * v},
+		},
+		{
+			ID:     "right-rear",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-20, 0.2), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.FollowEgo{Gap: j.val(22, 0.1), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+		{
+			ID:     "far-lead",
+			Params: vehicle.Truck(),
+			Init:   vehicle.FrenetState{S: 95, D: r.LaneCenterOffset(1), Speed: 0.95 * v},
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}

@@ -1,0 +1,77 @@
+package sensor
+
+import (
+	"repro/internal/geom"
+	"repro/internal/world"
+)
+
+// Occluded reports whether the target agent is hidden from a sensor at
+// the ego position by any of the other agents. The paper's Cut-out
+// scenario depends on this: a static obstacle is invisible until the
+// lead actor cuts out of the lane and "reveals" it.
+//
+// The model casts sight rays from the sensor to the target's center and
+// to both side extremes of its bounding box; the target is occluded only
+// if every ray is blocked by some other agent's footprint.
+func Occluded(egoPos geom.Vec2, target world.Agent, others []world.Agent) bool {
+	rays := sightRays(egoPos, target)
+	for _, ray := range rays {
+		blocked := false
+		for _, o := range others {
+			if o.ID == target.ID {
+				continue
+			}
+			if segmentHitsOBB(ray, o.BBox()) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}
+
+// VisibleActors returns the actors the camera sees from the ego pose,
+// honoring occlusion by the other actors in the scene.
+func VisibleActors(c Camera, ego geom.Pose, actors []world.Agent) []world.Agent {
+	var out []world.Agent
+	for _, a := range actors {
+		if !c.SeesAgent(ego, a) {
+			continue
+		}
+		if Occluded(ego.Pos, a, actors) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func sightRays(from geom.Vec2, target world.Agent) []geom.Segment {
+	// Side extremes: corners of the box projected perpendicular to the
+	// line of sight give the widest visual extent; using the box's left
+	// and right mid-edge points is a good, cheap approximation.
+	left := target.Pose.Pos.Add(target.Pose.Left().Scale(target.Width / 2))
+	right := target.Pose.Pos.Sub(target.Pose.Left().Scale(target.Width / 2))
+	return []geom.Segment{
+		{A: from, B: target.Pose.Pos},
+		{A: from, B: left},
+		{A: from, B: right},
+	}
+}
+
+func segmentHitsOBB(s geom.Segment, b geom.OBB) bool {
+	if b.Contains(s.A) || b.Contains(s.B) {
+		return true
+	}
+	c := b.Corners()
+	for i := 0; i < 4; i++ {
+		edge := geom.Segment{A: c[i], B: c[(i+1)%4]}
+		if s.Intersects(edge) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+// Package sim is the closed-loop driving simulator: scripted actors and
+// the AV stack (camera rig → perception at a configurable per-camera
+// frame processing rate → planner → vehicle dynamics) advance on a fixed
+// 10 ms step with oriented-bounding-box collision detection, recording a
+// trace of every time-step.
+//
+// It substitutes for the paper's NVIDIA DriveSim + AV-stack testbed (see
+// DESIGN.md): the property the experiments need is that the closed-loop
+// collision outcome depends on the configured frame processing rate,
+// which it does here through perception staleness and K-frame actor
+// confirmation.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/behavior"
+	"repro/internal/perception"
+	"repro/internal/planner"
+	"repro/internal/road"
+	"repro/internal/sensor"
+	"repro/internal/trace"
+	"repro/internal/vehicle"
+	"repro/internal/world"
+)
+
+// ActorSpec describes one scripted actor.
+type ActorSpec struct {
+	ID     string
+	Params vehicle.Params
+	Init   vehicle.FrenetState
+	Script *behavior.Script // nil: cruise at the initial speed (or stay static)
+}
+
+// RateController adjusts per-camera processing rates at runtime. The
+// Zhuyi-based work prioritizer in internal/safety implements this; a nil
+// controller means fixed rates.
+type RateController interface {
+	// Rates returns the desired FPR per camera name given the current
+	// perceived world model. Cameras absent from the result keep their
+	// previous rate.
+	Rates(now float64, ego world.Agent, wm []world.Agent) map[string]float64
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Name         string
+	Road         *road.Road
+	EgoInit      vehicle.FrenetState
+	EgoParams    vehicle.Params
+	DesiredSpeed float64
+	Planner      *planner.Config // nil: DefaultConfig(DesiredSpeed, EgoParams)
+	Actors       []ActorSpec
+
+	Duration float64 // s
+	Dt       float64 // s; 0 defaults to 0.01
+
+	Rig        sensor.Rig // nil: sensor.DefaultRig()
+	Perception perception.Config
+	FPR        float64 // uniform initial per-camera rate, frames/s
+
+	RateController RateController
+	RateEpoch      float64 // controller invocation period, s; 0 defaults to 0.1
+
+	Seed            int64
+	StopOnCollision bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Trace           *trace.Trace
+	Collision       *trace.Collision
+	FramesProcessed map[string]int
+	MinBumperGap    float64 // closest longitudinal approach to any in-corridor actor, m
+	EgoStopped      bool    // the ego came to a complete stop at least once
+}
+
+// Collided reports whether the run ended in a collision.
+func (r *Result) Collided() bool { return r.Collision != nil }
+
+// Run executes the scenario and returns the recorded result.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+
+	rig := cfg.Rig
+	pl := planner.New(plannerConfig(cfg), cfg.Road)
+	pipe := perception.NewPipeline(cfg.Perception, cfg.Seed)
+
+	egoState := cfg.EgoInit
+	appliedAccel := 0.0
+
+	type actorRT struct {
+		spec  ActorSpec
+		state vehicle.FrenetState
+	}
+	actors := make([]*actorRT, len(cfg.Actors))
+	for i, spec := range cfg.Actors {
+		actors[i] = &actorRT{spec: spec, state: spec.Init}
+	}
+
+	rates := make(map[string]float64, len(rig))
+	nextFrame := make(map[string]float64, len(rig))
+	frames := make(map[string]int, len(rig))
+	for _, c := range rig {
+		rates[c.Name] = cfg.FPR
+		nextFrame[c.Name] = 0
+	}
+
+	tr := &trace.Trace{Meta: trace.Meta{
+		Scenario: cfg.Name,
+		FPR:      cfg.FPR,
+		Seed:     cfg.Seed,
+		Dt:       cfg.Dt,
+		Cameras:  rig.Names(),
+	}}
+	res := &Result{Trace: tr, FramesProcessed: frames, MinBumperGap: math.Inf(1)}
+
+	nextRateUpdate := 0.0
+	steps := int(math.Round(cfg.Duration / cfg.Dt))
+	for step := 0; step <= steps; step++ {
+		t := float64(step) * cfg.Dt
+
+		// Ground truth for this instant.
+		egoAgent := egoState.ToAgent(cfg.Road, world.EgoID, cfg.EgoParams)
+		egoAgent.Accel = appliedAccel
+		actorAgents := make([]world.Agent, len(actors))
+		for i, a := range actors {
+			actorAgents[i] = a.state.ToAgent(cfg.Road, a.spec.ID, a.spec.Params)
+		}
+
+		// Collision detection.
+		if res.Collision == nil {
+			egoBox := egoAgent.BBox()
+			for _, a := range actorAgents {
+				if egoBox.Intersects(a.BBox()) {
+					res.Collision = &trace.Collision{Time: t, ActorID: a.ID}
+					break
+				}
+			}
+		}
+		if res.Collision != nil && cfg.StopOnCollision {
+			break
+		}
+
+		// Closest-approach bookkeeping.
+		updateMinGap(res, cfg.Road, egoState, egoAgent, actorAgents)
+
+		// Camera frames due at this step.
+		for _, cam := range rig {
+			if t+1e-9 < nextFrame[cam.Name] {
+				continue
+			}
+			pipe.ProcessFrame(cam, t, egoAgent, actorAgents)
+			frames[cam.Name]++
+			rate := rates[cam.Name]
+			if rate <= 0 {
+				rate = 1
+			}
+			// Advance the schedule from the previous due time, not from t,
+			// so the fixed step grid does not quantize the effective rate
+			// down (e.g. a 33.3 ms interval snapping to 40 ms).
+			next := nextFrame[cam.Name] + 1/rate
+			if next <= t {
+				next = t + 1/rate
+			}
+			nextFrame[cam.Name] = next
+		}
+
+		// Perceived world model and planning.
+		wm := pipe.WorldModel(t)
+		dec := pl.Plan(egoState, cfg.EgoParams, wm)
+		appliedAccel = cfg.EgoParams.ClampAccel(dec.Accel, egoState.Speed)
+		egoAgent.Accel = appliedAccel
+
+		// Dynamic rate control.
+		if cfg.RateController != nil && t+1e-9 >= nextRateUpdate {
+			for name, r := range cfg.RateController.Rates(t, egoAgent, wm) {
+				if _, ok := rates[name]; ok && r > 0 {
+					rates[name] = r
+				}
+			}
+			nextRateUpdate = t + cfg.RateEpoch
+		}
+
+		// Record.
+		tr.Rows = append(tr.Rows, trace.Row{
+			Time:     t,
+			Ego:      egoAgent,
+			Actors:   actorAgents,
+			CmdAccel: appliedAccel,
+			AEB:      dec.AEB,
+			Rates:    snapshotRates(rates),
+		})
+
+		// Advance dynamics.
+		egoState.Accel = appliedAccel
+		egoState = egoState.Step(cfg.Dt)
+		if egoState.Speed == 0 {
+			res.EgoStopped = true
+		}
+		ctx := behavior.Context{Time: t, Road: cfg.Road, Ego: egoState}
+		for _, a := range actors {
+			if a.spec.Script != nil {
+				a.state = a.spec.Script.Step(ctx, a.state, cfg.Dt)
+			} else {
+				a.state = a.state.Step(cfg.Dt)
+			}
+		}
+	}
+
+	if res.Collision != nil {
+		tr.Collision = res.Collision
+	}
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Road == nil {
+		return fmt.Errorf("sim: nil road")
+	}
+	if err := cfg.Road.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("sim: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.Dt == 0 {
+		cfg.Dt = 0.01
+	}
+	if cfg.Dt < 0 {
+		return fmt.Errorf("sim: negative dt %v", cfg.Dt)
+	}
+	if cfg.FPR <= 0 {
+		return fmt.Errorf("sim: non-positive FPR %v", cfg.FPR)
+	}
+	if cfg.Rig == nil {
+		cfg.Rig = sensor.DefaultRig()
+	}
+	if cfg.RateEpoch <= 0 {
+		cfg.RateEpoch = 0.1
+	}
+	if cfg.Perception.ConfirmFrames == 0 {
+		cfg.Perception = perception.DefaultConfig()
+	}
+	ids := map[string]bool{world.EgoID: true}
+	for _, a := range cfg.Actors {
+		if ids[a.ID] {
+			return fmt.Errorf("sim: duplicate actor ID %q", a.ID)
+		}
+		ids[a.ID] = true
+	}
+	return nil
+}
+
+func plannerConfig(cfg Config) planner.Config {
+	if cfg.Planner != nil {
+		return *cfg.Planner
+	}
+	return planner.DefaultConfig(cfg.DesiredSpeed, cfg.EgoParams)
+}
+
+func updateMinGap(res *Result, r *road.Road, ego vehicle.FrenetState, egoAgent world.Agent, actors []world.Agent) {
+	for _, a := range actors {
+		s, d := r.Frenet(a.Pose.Pos)
+		if math.Abs(d-ego.D) > 2.2 {
+			continue
+		}
+		gap := math.Abs(s-ego.S) - (egoAgent.Length+a.Length)/2
+		if gap < res.MinBumperGap {
+			res.MinBumperGap = gap
+		}
+	}
+}
+
+func snapshotRates(rates map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(rates))
+	for k, v := range rates {
+		out[k] = v
+	}
+	return out
+}
+
+// SortedCameraNames returns rate-map keys in stable order (helper for
+// deterministic reporting).
+func SortedCameraNames(rates map[string]float64) []string {
+	names := make([]string, 0, len(rates))
+	for k := range rates {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,187 @@
+// Package trace records driving-scenario executions: the ground-truth
+// states of the ego and all actors at every time-step, the planner
+// commands, and the per-camera operating rates. Traces are what the
+// paper's pre-deployment flow consumes ("For each AV tested scenario,
+// the scenario trace is collected which includes the states of the ego
+// and all the actors at all the time-steps", §3.1); the offline Zhuyi
+// evaluator walks them start to end.
+//
+// Traces serialize as JSON Lines: a header line with metadata followed
+// by one line per row, so multi-minute scenarios stream without holding
+// an extra copy in memory.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/world"
+)
+
+// Meta describes how a trace was produced.
+type Meta struct {
+	Scenario string   `json:"scenario"`
+	FPR      float64  `json:"fpr"`  // configured uniform per-camera FPR
+	Seed     int64    `json:"seed"` // noise seed
+	Dt       float64  `json:"dt"`   // step, s
+	Cameras  []string `json:"cameras"`
+}
+
+// Collision records the first ego collision, if any.
+type Collision struct {
+	Time    float64 `json:"time"`
+	ActorID string  `json:"actor_id"`
+}
+
+// Row is one recorded time-step.
+type Row struct {
+	Time     float64            `json:"t"`
+	Ego      world.Agent        `json:"ego"`
+	Actors   []world.Agent      `json:"actors"`
+	CmdAccel float64            `json:"cmd_accel"`
+	AEB      bool               `json:"aeb,omitempty"`
+	Rates    map[string]float64 `json:"rates,omitempty"` // operating FPR per camera
+}
+
+// Trace is a recorded scenario execution.
+type Trace struct {
+	Meta      Meta
+	Rows      []Row
+	Collision *Collision
+}
+
+// Len returns the number of rows.
+func (tr *Trace) Len() int { return len(tr.Rows) }
+
+// Duration returns the recorded time span.
+func (tr *Trace) Duration() float64 {
+	if len(tr.Rows) == 0 {
+		return 0
+	}
+	return tr.Rows[len(tr.Rows)-1].Time - tr.Rows[0].Time
+}
+
+// Snapshot converts row i into a world snapshot.
+func (tr *Trace) Snapshot(i int) world.Snapshot {
+	r := tr.Rows[i]
+	return world.Snapshot{Time: r.Time, Ego: r.Ego, Actors: r.Actors}
+}
+
+// ActorFuture builds the recorded ground-truth future trajectory of one
+// actor starting at row i, up to horizon seconds ahead, sampled every
+// stride rows. This is the |T| = 1 trajectory set of the paper's
+// pre-deployment evaluation. It returns false if the actor is absent at
+// row i.
+func (tr *Trace) ActorFuture(id string, i int, horizon float64, stride int) (world.Trajectory, bool) {
+	if stride < 1 {
+		stride = 1
+	}
+	if i < 0 || i >= len(tr.Rows) {
+		return world.Trajectory{}, false
+	}
+	start := tr.Rows[i].Time
+	var pts []world.TrajectoryPoint
+	for j := i; j < len(tr.Rows); j += stride {
+		row := tr.Rows[j]
+		if row.Time-start > horizon {
+			break
+		}
+		a, ok := actorIn(row, id)
+		if !ok {
+			break
+		}
+		pts = append(pts, world.TrajectoryPoint{
+			T:       row.Time,
+			Pos:     a.Pose.Pos,
+			Heading: a.Pose.Heading,
+			Speed:   a.Speed,
+			Accel:   a.Accel,
+		})
+	}
+	if len(pts) == 0 {
+		return world.Trajectory{}, false
+	}
+	return world.Trajectory{ActorID: id, Prob: 1, Points: pts}, true
+}
+
+func actorIn(r Row, id string) (world.Agent, bool) {
+	for _, a := range r.Actors {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return world.Agent{}, false
+}
+
+// header is the first JSONL line.
+type header struct {
+	Meta      Meta       `json:"meta"`
+	Collision *Collision `json:"collision,omitempty"`
+}
+
+// Write serializes the trace as JSON Lines.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Meta: tr.Meta, Collision: tr.Collision}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i := range tr.Rows {
+		if err := enc.Encode(&tr.Rows[i]); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON Lines trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: parse header: %w", err)
+	}
+	tr := &Trace{Meta: h.Meta, Collision: h.Collision}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return nil, fmt.Errorf("trace: parse line %d: %w", line, err)
+		}
+		tr.Rows = append(tr.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return tr, nil
+}
+
+// IndexAt returns the row index of the last row with Time <= t (or 0).
+func (tr *Trace) IndexAt(t float64) int {
+	lo, hi := 0, len(tr.Rows)-1
+	if hi < 0 {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if tr.Rows[mid].Time <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

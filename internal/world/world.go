@@ -1,0 +1,189 @@
+// Package world defines the shared kinematic state types exchanged
+// between the simulator, the perception stack, the trajectory
+// predictors, the planner, and the Zhuyi model: agents (the ego and the
+// surrounding actors of the paper's Figure 2), world snapshots, and
+// timed trajectories.
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// EgoID is the agent ID reserved for the ego vehicle. The paper refers
+// to the AV as the ego; dynamic objects in a scenario are actors.
+const EgoID = "ego"
+
+// Agent is the kinematic state of one vehicle (ego or actor) at an
+// instant, in the 2-D world frame.
+type Agent struct {
+	ID     string
+	Pose   geom.Pose
+	Speed  float64 // longitudinal speed along the heading, m/s, >= 0
+	Accel  float64 // longitudinal acceleration, m/s² (negative = braking)
+	LatVel float64 // lateral velocity, left-positive, m/s (lane changes)
+	Length float64 // bounding-box length, m
+	Width  float64 // bounding-box width, m
+	Lane   int     // lane index the agent is (mostly) occupying
+	Static bool    // true for parked/static obstacles
+}
+
+// BBox returns the collision footprint of the agent.
+func (a Agent) BBox() geom.OBB { return geom.NewOBB(a.Pose, a.Length, a.Width) }
+
+// Velocity returns the world-frame velocity vector: longitudinal speed
+// along the heading plus lateral velocity to the left.
+func (a Agent) Velocity() geom.Vec2 {
+	return a.Pose.Forward().Scale(a.Speed).Add(a.Pose.Left().Scale(a.LatVel))
+}
+
+// FrontBumper returns the world position of the front bumper center.
+func (a Agent) FrontBumper() geom.Vec2 {
+	return a.Pose.Pos.Add(a.Pose.Forward().Scale(a.Length / 2))
+}
+
+// RearBumper returns the world position of the rear bumper center.
+func (a Agent) RearBumper() geom.Vec2 {
+	return a.Pose.Pos.Sub(a.Pose.Forward().Scale(a.Length / 2))
+}
+
+// Validate reports obviously inconsistent states.
+func (a Agent) Validate() error {
+	if a.ID == "" {
+		return fmt.Errorf("agent: empty ID")
+	}
+	if a.Length <= 0 || a.Width <= 0 {
+		return fmt.Errorf("agent %s: non-positive dimensions %vx%v", a.ID, a.Length, a.Width)
+	}
+	if a.Speed < 0 {
+		return fmt.Errorf("agent %s: negative speed %v", a.ID, a.Speed)
+	}
+	if math.IsNaN(a.Speed) || math.IsNaN(a.Pose.Pos.X) || math.IsNaN(a.Pose.Pos.Y) {
+		return fmt.Errorf("agent %s: NaN state", a.ID)
+	}
+	return nil
+}
+
+// Snapshot is the full ground-truth (or perceived) world state at one
+// instant: the ego and every surrounding actor.
+type Snapshot struct {
+	Time   float64
+	Ego    Agent
+	Actors []Agent
+}
+
+// Actor returns the actor with the given ID, if present.
+func (s Snapshot) Actor(id string) (Agent, bool) {
+	for _, a := range s.Actors {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Agent{}, false
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	c := s
+	c.Actors = make([]Agent, len(s.Actors))
+	copy(c.Actors, s.Actors)
+	return c
+}
+
+// TrajectoryPoint is one timed sample of a predicted or recorded
+// trajectory.
+type TrajectoryPoint struct {
+	T       float64 // absolute time, s
+	Pos     geom.Vec2
+	Heading float64
+	Speed   float64 // scalar speed along Heading, m/s
+	Accel   float64 // longitudinal acceleration, m/s²
+}
+
+// Trajectory is a time-ordered sequence of states for one agent, with a
+// probability weight used by the paper's Equation 4 aggregation. A
+// recorded ground-truth future has Prob = 1 and is the only member of
+// its set (|T| = 1, paper §3.1).
+type Trajectory struct {
+	ActorID string
+	Prob    float64
+	Points  []TrajectoryPoint
+}
+
+// Start returns the first sample time, or 0 for an empty trajectory.
+func (tr Trajectory) Start() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[0].T
+}
+
+// End returns the last sample time, or 0 for an empty trajectory.
+func (tr Trajectory) End() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T
+}
+
+// At returns the interpolated state at absolute time t. Times before the
+// first sample return the first sample; times beyond the last sample
+// extrapolate at constant velocity from the last sample, which keeps the
+// Zhuyi search well-defined near the horizon edge.
+func (tr Trajectory) At(t float64) TrajectoryPoint {
+	n := len(tr.Points)
+	if n == 0 {
+		return TrajectoryPoint{T: t}
+	}
+	if t <= tr.Points[0].T {
+		p := tr.Points[0]
+		p.T = t
+		return p
+	}
+	if t >= tr.Points[n-1].T {
+		last := tr.Points[n-1]
+		dt := t - last.T
+		p := last
+		p.T = t
+		p.Pos = last.Pos.Add(geom.FromAngle(last.Heading).Scale(last.Speed * dt))
+		p.Accel = 0
+		return p
+	}
+	i := sort.Search(n, func(i int) bool { return tr.Points[i].T >= t }) // first >= t
+	a, b := tr.Points[i-1], tr.Points[i]
+	span := b.T - a.T
+	if span <= 0 {
+		return b
+	}
+	u := (t - a.T) / span
+	return TrajectoryPoint{
+		T:       t,
+		Pos:     a.Pos.Lerp(b.Pos, u),
+		Heading: a.Heading + (b.Heading-a.Heading)*u,
+		Speed:   a.Speed + (b.Speed-a.Speed)*u,
+		Accel:   a.Accel + (b.Accel-a.Accel)*u,
+	}
+}
+
+// Validate reports structural problems: unsorted times or an invalid
+// probability.
+func (tr Trajectory) Validate() error {
+	if tr.Prob < 0 || tr.Prob > 1 || math.IsNaN(tr.Prob) {
+		return fmt.Errorf("trajectory %s: probability %v out of [0,1]", tr.ActorID, tr.Prob)
+	}
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].T < tr.Points[i-1].T {
+			return fmt.Errorf("trajectory %s: unsorted times at index %d", tr.ActorID, i)
+		}
+	}
+	return nil
+}
+
+// FromAgent seeds a single-point trajectory at the agent's current
+// state, useful as the starting point for predictors.
+func FromAgent(a Agent, t float64) TrajectoryPoint {
+	return TrajectoryPoint{T: t, Pos: a.Pose.Pos, Heading: a.Pose.Heading, Speed: a.Speed, Accel: a.Accel}
+}

@@ -1,0 +1,191 @@
+package world
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func carAgent(id string, x, y, heading, speed float64) Agent {
+	return Agent{
+		ID:     id,
+		Pose:   geom.Pose{Pos: geom.V(x, y), Heading: heading},
+		Speed:  speed,
+		Length: 4.6,
+		Width:  1.9,
+	}
+}
+
+func TestAgentBBoxAndBumpers(t *testing.T) {
+	a := carAgent("ego", 10, 0, 0, 20)
+	b := a.BBox()
+	if b.Length != 4.6 || b.Width != 1.9 {
+		t.Errorf("BBox dims = %v x %v", b.Length, b.Width)
+	}
+	fb := a.FrontBumper()
+	if math.Abs(fb.X-12.3) > 1e-9 || math.Abs(fb.Y) > 1e-9 {
+		t.Errorf("FrontBumper = %v", fb)
+	}
+	rb := a.RearBumper()
+	if math.Abs(rb.X-7.7) > 1e-9 {
+		t.Errorf("RearBumper = %v", rb)
+	}
+}
+
+func TestAgentVelocity(t *testing.T) {
+	a := carAgent("a", 0, 0, 0, 10)
+	a.LatVel = 1
+	v := a.Velocity()
+	if math.Abs(v.X-10) > 1e-9 || math.Abs(v.Y-1) > 1e-9 {
+		t.Errorf("Velocity = %v", v)
+	}
+	a.Pose.Heading = math.Pi / 2
+	v = a.Velocity()
+	if math.Abs(v.X+1) > 1e-9 || math.Abs(v.Y-10) > 1e-9 {
+		t.Errorf("rotated Velocity = %v", v)
+	}
+}
+
+func TestAgentValidate(t *testing.T) {
+	good := carAgent("a", 0, 0, 0, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid agent rejected: %v", err)
+	}
+	bad := good
+	bad.ID = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty ID accepted")
+	}
+	bad = good
+	bad.Speed = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative speed accepted")
+	}
+	bad = good
+	bad.Length = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero length accepted")
+	}
+	bad = good
+	bad.Speed = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN speed accepted")
+	}
+}
+
+func TestSnapshotActorLookupAndClone(t *testing.T) {
+	s := Snapshot{
+		Time: 1.5,
+		Ego:  carAgent("ego", 0, 0, 0, 20),
+		Actors: []Agent{
+			carAgent("a1", 30, 0, 0, 15),
+			carAgent("a2", 30, 3.5, 0, 18),
+		},
+	}
+	if _, ok := s.Actor("a2"); !ok {
+		t.Error("a2 not found")
+	}
+	if _, ok := s.Actor("nope"); ok {
+		t.Error("phantom actor found")
+	}
+	c := s.Clone()
+	c.Actors[0].Speed = 99
+	if s.Actors[0].Speed == 99 {
+		t.Error("Clone shares actor storage")
+	}
+}
+
+func makeTraj() Trajectory {
+	return Trajectory{
+		ActorID: "a1",
+		Prob:    1,
+		Points: []TrajectoryPoint{
+			{T: 0, Pos: geom.V(0, 0), Heading: 0, Speed: 10, Accel: 0},
+			{T: 1, Pos: geom.V(10, 0), Heading: 0, Speed: 10, Accel: 0},
+			{T: 2, Pos: geom.V(20, 0), Heading: 0, Speed: 10, Accel: -2},
+		},
+	}
+}
+
+func TestTrajectoryAtInterpolation(t *testing.T) {
+	tr := makeTraj()
+	p := tr.At(0.5)
+	if math.Abs(p.Pos.X-5) > 1e-9 || math.Abs(p.Speed-10) > 1e-9 {
+		t.Errorf("At(0.5) = %+v", p)
+	}
+	p = tr.At(1.5)
+	if math.Abs(p.Pos.X-15) > 1e-9 || math.Abs(p.Accel+1) > 1e-9 {
+		t.Errorf("At(1.5) = %+v", p)
+	}
+}
+
+func TestTrajectoryAtEdges(t *testing.T) {
+	tr := makeTraj()
+	p := tr.At(-1)
+	if p.Pos.X != 0 || p.T != -1 {
+		t.Errorf("At(-1) = %+v", p)
+	}
+	// Beyond the end: constant-velocity extrapolation.
+	p = tr.At(3)
+	if math.Abs(p.Pos.X-30) > 1e-9 || p.Accel != 0 {
+		t.Errorf("At(3) = %+v", p)
+	}
+	empty := Trajectory{}
+	if got := empty.At(5); got.T != 5 {
+		t.Errorf("empty At = %+v", got)
+	}
+	if empty.Start() != 0 || empty.End() != 0 {
+		t.Error("empty Start/End nonzero")
+	}
+}
+
+func TestTrajectoryStartEnd(t *testing.T) {
+	tr := makeTraj()
+	if tr.Start() != 0 || tr.End() != 2 {
+		t.Errorf("Start/End = %v/%v", tr.Start(), tr.End())
+	}
+}
+
+func TestTrajectoryAtMonotone(t *testing.T) {
+	tr := makeTraj()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) {
+			return true
+		}
+		t1 := math.Mod(math.Abs(raw), 2)
+		p1 := tr.At(t1)
+		p2 := tr.At(t1 + 0.1)
+		return p2.Pos.X >= p1.Pos.X-1e-9 // forward motion is monotone in x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrajectoryValidate(t *testing.T) {
+	tr := makeTraj()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	bad := makeTraj()
+	bad.Prob = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad probability accepted")
+	}
+	bad = makeTraj()
+	bad.Points[2].T = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted times accepted")
+	}
+}
+
+func TestFromAgent(t *testing.T) {
+	a := carAgent("x", 5, 2, 0.1, 12)
+	a.Accel = -1
+	p := FromAgent(a, 3)
+	if p.T != 3 || p.Pos != a.Pose.Pos || p.Speed != 12 || p.Accel != -1 || p.Heading != 0.1 {
+		t.Errorf("FromAgent = %+v", p)
+	}
+}

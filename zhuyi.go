@@ -1,0 +1,153 @@
+// Package zhuyi is the public facade of this repository: a Go
+// reproduction of "Zhuyi: Perception Processing Rate Estimation for
+// Safety in Autonomous Vehicles" (Hsiao et al., DAC 2022,
+// arXiv:2205.03347).
+//
+// Zhuyi estimates, from the kinematic state of the ego vehicle and the
+// (predicted) trajectories of surrounding actors, the maximum tolerable
+// perception latency per actor and the minimum safe frame processing
+// rate (FPR) per camera. This package re-exports the core model and the
+// high-level entry points; the substrates (simulator, perception stack,
+// planner, scenarios) live under internal/.
+//
+// Quick start:
+//
+//	est := zhuyi.NewEstimator()
+//	res, _ := zhuyi.RunScenario(zhuyi.ScenarioCutOutFast, 30, 1)
+//	off, _ := est.EvaluateTrace(res.Trace, zhuyi.OfflineOptions{})
+//	fmt.Println(off.MaxFPR(), off.MaxSumFPR())
+package zhuyi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/safety"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Re-exported core types. See internal/core for full documentation.
+type (
+	// Params are the Zhuyi model parameters (paper §4.1 defaults via
+	// DefaultParams).
+	Params = core.Params
+	// Estimator orchestrates the model over world snapshots.
+	Estimator = core.Estimator
+	// Estimate is the per-instant output: per-actor latencies and
+	// per-camera FPR requirements.
+	Estimate = core.Estimate
+	// LatencyResult is the per-trajectory tolerable-latency search
+	// output.
+	LatencyResult = core.LatencyResult
+	// OfflineOptions configures pre-deployment trace evaluation.
+	OfflineOptions = core.OfflineOptions
+	// OfflineResult is the evaluated per-camera series of a trace.
+	OfflineResult = core.OfflineResult
+	// SweepResult is the Figure-8 sensitivity grid.
+	SweepResult = core.SweepResult
+	// Trace is a recorded scenario execution.
+	Trace = trace.Trace
+	// RunResult is a closed-loop simulation outcome.
+	RunResult = sim.Result
+	// MRF is a minimum-required-FPR search result.
+	MRF = metrics.MRF
+)
+
+// Aggregation modes for Equation 4.
+const (
+	AggPessimistic = core.AggPessimistic
+	AggMean        = core.AggMean
+	AggPercentile  = core.AggPercentile
+)
+
+// Scenario names from the paper's Table 1.
+const (
+	ScenarioCutOut                 = scenario.CutOut
+	ScenarioCutOutFast             = scenario.CutOutFast
+	ScenarioCutIn                  = scenario.CutIn
+	ScenarioChallengingCutIn       = scenario.ChallengingCutIn
+	ScenarioChallengingCutInCurved = scenario.ChallengingCutInCurved
+	ScenarioVehicleFollowing       = scenario.VehicleFollowing
+	ScenarioFrontRightActivity1    = scenario.FrontRightActivity1
+	ScenarioFrontRightActivity2    = scenario.FrontRightActivity2
+	ScenarioFrontRightActivity3    = scenario.FrontRightActivity3
+)
+
+// DefaultParams returns the paper's §4.1 model parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewEstimator builds an estimator with the paper's defaults: the
+// five-camera rig, the analyzed camera subset, and 99th-percentile
+// aggregation.
+func NewEstimator() *Estimator { return core.NewEstimator() }
+
+// Scenarios lists the nine validation scenario names in Table-1 order.
+func Scenarios() []string { return scenario.Names() }
+
+// RunScenario executes one seeded closed-loop run of a named scenario
+// at a uniform per-camera frame processing rate and returns the
+// recorded result.
+func RunScenario(name string, fpr float64, seed int64) (*RunResult, error) {
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("zhuyi: unknown scenario %q (see Scenarios())", name)
+	}
+	return metrics.RunScenario(sc, fpr, seed)
+}
+
+// FindMRF searches a scenario's minimum required FPR over the given
+// rate grid and seed count (paper protocol: Table-1 grid, 10 seeds).
+func FindMRF(name string, fprs []float64, seeds int) (MRF, error) {
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return MRF{}, fmt.Errorf("zhuyi: unknown scenario %q", name)
+	}
+	if len(fprs) == 0 {
+		fprs = metrics.DefaultFPRGrid()
+	}
+	return metrics.FindMRF(sc, fprs, seeds)
+}
+
+// Sweep computes the Figure-8 sensitivity grid for a fixed tolerable
+// distance in meters.
+func Sweep(snMeters float64) *SweepResult { return experiments.Figure8(snMeters) }
+
+// The Zhuyi-based AV system (§3.2) re-exports.
+type (
+	// Controller is the work-prioritizing per-camera rate controller.
+	Controller = safety.Controller
+	// ControllerConfig tunes margin, floors, caps, budget, hysteresis.
+	ControllerConfig = safety.ControllerConfig
+	// CheckResult is one safety-check evaluation with alarms and the
+	// recommended escalation action.
+	CheckResult = safety.CheckResult
+	// Uncertainty is the perception-uncertainty extension (§5 future
+	// work): fold measurement noise and confirmation inflation into the
+	// model parameters via Apply.
+	Uncertainty = core.Uncertainty
+)
+
+// NewController builds the §3.2 rate controller over the estimator's
+// cameras with a multi-hypothesis trajectory predictor.
+func NewController(est *Estimator, cfg ControllerConfig) *Controller {
+	return safety.NewController(
+		est,
+		predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
+		cfg,
+	)
+}
+
+// DefaultControllerConfig returns the controller configuration used by
+// the examples and the headline experiment.
+func DefaultControllerConfig() ControllerConfig { return safety.DefaultControllerConfig() }
+
+// CheckSafety compares operating per-camera rates against a Zhuyi
+// estimate (the §3.2 safety check).
+func CheckSafety(est Estimate, operating map[string]float64) CheckResult {
+	return safety.Check(est, operating)
+}

@@ -1,0 +1,79 @@
+package zhuyi
+
+import (
+	"testing"
+)
+
+func TestScenariosList(t *testing.T) {
+	names := Scenarios()
+	if len(names) != 9 {
+		t.Fatalf("scenario count = %d", len(names))
+	}
+	if names[0] != ScenarioCutOut || names[8] != ScenarioFrontRightActivity3 {
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestRunScenarioFacade(t *testing.T) {
+	res, err := RunScenario(ScenarioFrontRightActivity1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() == 0 {
+		t.Error("empty trace")
+	}
+	if _, err := RunScenario("bogus", 10, 1); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestEndToEndOfflineEvaluation(t *testing.T) {
+	res, err := RunScenario(ScenarioCutIn, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator()
+	off, err := est.EvaluateTrace(res.Trace, OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.MaxFPR() < 1 {
+		t.Errorf("max FPR = %v", off.MaxFPR())
+	}
+	if off.MaxSumFPR() < 3 {
+		t.Errorf("max sum FPR = %v", off.MaxSumFPR())
+	}
+}
+
+func TestFindMRFFacade(t *testing.T) {
+	m, err := FindMRF(ScenarioFrontRightActivity1, []float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.BelowGrid() {
+		t.Errorf("MRF = %v", m.Value)
+	}
+	if _, err := FindMRF("bogus", nil, 1); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	res := Sweep(30)
+	if len(res.Cells) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if res.SN != 30 {
+		t.Errorf("SN = %v", res.SN)
+	}
+}
+
+func TestDefaultParamsFacade(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.C1 != 0.9 || p.C3 != 4.9 || p.K != 5 {
+		t.Errorf("params = %+v", p)
+	}
+}
