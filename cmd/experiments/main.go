@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,17 +21,31 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,all")
-		seeds  = flag.Int("seeds", 10, "seeded runs per configuration (Table 1)")
-		csvDir = flag.String("csv", "", "also write CSV artifacts into this directory")
+		exp     = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,all")
+		seeds   = flag.Int("seeds", 10, "seeded runs per configuration (Table 1)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "also write CSV artifacts into this directory")
 	)
 	flag.Parse()
+
+	// One engine for the whole invocation: campaigns run on a single
+	// worker pool and later experiments reuse earlier experiments' runs
+	// (the Table-1 sweep caches the points the baselines and figures
+	// re-visit). Without -workers this is the process-wide default
+	// engine — the same one the figure and ablation generators use — so
+	// the cache is shared across every experiment; an explicit -workers
+	// sizes a private pool for the campaign-style experiments instead.
+	eng := engine.Default()
+	if *workers > 0 {
+		eng = engine.New(engine.Options{Workers: *workers})
+	}
 
 	writeCSV := func(name string, fn func(io.Writer) error) {
 		if *csvDir == "" {
@@ -71,7 +86,7 @@ func main() {
 		return nil
 	})
 	run("table1", func() error {
-		opt := experiments.Options{Seeds: *seeds}
+		opt := experiments.Options{Seeds: *seeds, Engine: eng}
 		rows, err := experiments.Table1(opt)
 		if err != nil {
 			return err
@@ -123,7 +138,7 @@ func main() {
 		return nil
 	})
 	run("headline", func() error {
-		rows, err := experiments.Headline(1)
+		rows, err := experiments.HeadlineContext(context.Background(), eng, 1)
 		if err != nil {
 			return err
 		}
@@ -134,7 +149,7 @@ func main() {
 		return nil
 	})
 	run("baselines", func() error {
-		opt := experiments.Options{Seeds: *seeds}
+		opt := experiments.Options{Seeds: *seeds, Engine: eng}
 		rows, err := experiments.BaselineComparison(opt)
 		if err != nil {
 			return err

@@ -4,14 +4,20 @@
 //	zhuyi sweep -sn 30                       Figure-8 velocity sensitivity grid
 //	zhuyi demand -actors 2 -trajectories 1   the model's own compute demand (§4.2)
 //	zhuyi mrf -scenario cut-out -seeds 10    minimum required FPR search
+//	zhuyi rate -scenario cut-out -fpr 5      collision rate at a fixed rate
+//
+// The run-campaign subcommands (mrf, rate) take -workers to size the
+// engine's simulation pool (default: GOMAXPROCS).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -34,6 +40,8 @@ func main() {
 		err = cmdDemand(os.Args[2:])
 	case "mrf":
 		err = cmdMRF(os.Args[2:])
+	case "rate":
+		err = cmdRate(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -45,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate> [flags]")
 }
 
 func cmdEstimate(args []string) error {
@@ -121,18 +129,46 @@ func cmdMRF(args []string) error {
 	fs := flag.NewFlagSet("mrf", flag.ExitOnError)
 	name := fs.String("scenario", scenario.CutOut, "scenario name")
 	seeds := fs.Int("seeds", 10, "seeded runs per rate")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	sc, ok := scenario.ByName(*name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q", *name)
 	}
-	m, err := metrics.FindMRF(sc, metrics.DefaultFPRGrid(), *seeds)
+	eng := engine.New(engine.Options{Workers: *workers})
+	m, err := metrics.FindMRFContext(context.Background(), eng, sc, metrics.DefaultFPRGrid(), *seeds)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: MRF = %s (cameras: %v)\n", sc.Name, m.String(), sensor.AnalyzedCameras())
+	fmt.Printf("%s: MRF = %s (cameras: %v, %d runs on %d workers)\n",
+		sc.Name, m.String(), sensor.AnalyzedCameras(), m.Runs, eng.Workers())
 	for _, f := range metrics.DefaultFPRGrid() {
-		fmt.Printf("  FPR %4g: %d/%d collisions\n", f, m.Collisions[f], m.Seeds)
+		if n, ok := m.Collisions[f]; ok {
+			fmt.Printf("  FPR %4g: %d/%d collisions\n", f, n, m.Seeds)
+		} else {
+			fmt.Printf("  FPR %4g: skipped (below a colliding rate)\n", f)
+		}
 	}
+	return nil
+}
+
+func cmdRate(args []string) error {
+	fs := flag.NewFlagSet("rate", flag.ExitOnError)
+	name := fs.String("scenario", scenario.CutOut, "scenario name")
+	fpr := fs.Float64("fpr", 5, "uniform per-camera frame processing rate")
+	runs := fs.Int("runs", 10, "seeded runs")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	sc, ok := scenario.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", *name)
+	}
+	eng := engine.New(engine.Options{Workers: *workers})
+	rate, err := metrics.CollisionRateContext(context.Background(), eng, sc, *fpr, *runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s @ %g FPR: collision rate %.2f (%d runs on %d workers)\n",
+		sc.Name, *fpr, rate, *runs, eng.Workers())
 	return nil
 }

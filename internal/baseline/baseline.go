@@ -18,9 +18,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
@@ -31,9 +33,16 @@ type GridSearchResult struct {
 	// MinUniformFPR is the lowest tested uniform rate that was
 	// collision-free across all seeds (and all higher tested rates).
 	MinUniformFPR float64
-	// Runs is the number of closed-loop simulations executed — the cost
-	// the paper argues explodes for per-camera settings.
+	// Runs is the exhaustive |grid|·seeds simulation cost of the
+	// Suraksha protocol being reproduced — the cost the paper argues
+	// explodes for per-camera settings. The comparison keeps the
+	// baseline's nominal cost even though this repo's adaptive search
+	// may schedule fewer points (see RunsScheduled).
 	Runs int
+	// RunsScheduled is what the adaptive engine-backed search actually
+	// scheduled (cache hits included); the early exit may prune it below
+	// Runs.
+	RunsScheduled int
 	// TotalFPR is the implied per-vehicle frame budget: the uniform rate
 	// on every camera of the rig.
 	TotalFPR float64
@@ -42,19 +51,26 @@ type GridSearchResult struct {
 }
 
 // UniformGridSearch runs the scenario at every rate in grid (ascending)
-// with the given seeds, Suraksha-style, and returns the minimal safe
-// uniform rate. cameras is the rig size used to report the total frame
-// budget.
+// with the given seeds, Suraksha-style, on the shared default engine.
+// See UniformGridSearchContext.
 func UniformGridSearch(sc scenario.Scenario, grid []float64, seeds, cameras int) (GridSearchResult, error) {
+	return UniformGridSearchContext(context.Background(), engine.Default(), sc, grid, seeds, cameras)
+}
+
+// UniformGridSearchContext searches the minimal safe uniform rate on
+// the given engine. cameras is the rig size used to report the total
+// frame budget.
+func UniformGridSearchContext(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, grid []float64, seeds, cameras int) (GridSearchResult, error) {
 	res := GridSearchResult{Scenario: sc.Name}
 	if len(grid) == 0 {
 		grid = metrics.DefaultFPRGrid()
 	}
-	mrf, err := metrics.FindMRF(sc, grid, seeds)
+	mrf, err := metrics.FindMRFContext(ctx, eng, sc, grid, seeds)
 	if err != nil {
 		return res, err
 	}
 	res.Runs = len(grid) * seeds
+	res.RunsScheduled = mrf.Runs
 	switch {
 	case math.IsInf(mrf.Value, 1):
 		res.Feasible = false

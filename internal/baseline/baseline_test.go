@@ -25,6 +25,9 @@ func TestUniformGridSearchBenign(t *testing.T) {
 	if res.Runs != 4 {
 		t.Errorf("runs = %d, want 2 rates x 2 seeds", res.Runs)
 	}
+	if res.RunsScheduled != 4 {
+		t.Errorf("scheduled = %d, want 4 (benign: nothing pruned)", res.RunsScheduled)
+	}
 }
 
 func TestUniformGridSearchCutOut(t *testing.T) {

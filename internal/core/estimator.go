@@ -43,13 +43,13 @@ func (e Estimate) SumFPR(cameras []string) float64 {
 // MaxFPR returns the largest per-camera requirement over the given
 // cameras.
 func (e Estimate) MaxFPR(cameras []string) float64 {
-	max := 0.0
+	maxFPR := 0.0
 	for _, c := range cameras {
-		if e.CameraFPR[c] > max {
-			max = e.CameraFPR[c]
+		if e.CameraFPR[c] > maxFPR {
+			maxFPR = e.CameraFPR[c]
 		}
 	}
-	return max
+	return maxFPR
 }
 
 // Estimator orchestrates the Zhuyi model over world snapshots.

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // SweepCell is one cell of the Figure-8 sensitivity analysis: the
 // minimum FPR for an ego at initial speed v_e0 facing an actor whose end
@@ -32,15 +35,23 @@ type SweepResult struct {
 // l0 is the current system latency used by the AlphaPaper confirmation
 // model; the sweep defaults to AlphaZero (steady state) when p.Alpha is
 // so configured.
+// Rows compute concurrently — every cell is an independent closed-form
+// evaluation — so the grid scales with the available cores.
 func Sweep(ve0s, vans []float64, sn, l0 float64, p Params) *SweepResult {
 	res := &SweepResult{SN: sn, VE0s: ve0s, VANs: vans}
 	res.Cells = make([][]SweepCell, len(ve0s))
+	var wg sync.WaitGroup
 	for i, ve0 := range ve0s {
 		res.Cells[i] = make([]SweepCell, len(vans))
-		for j, van := range vans {
-			res.Cells[i][j] = sweepCell(ve0, van, sn, l0, p)
-		}
+		wg.Add(1)
+		go func(row []SweepCell, ve0 float64) {
+			defer wg.Done()
+			for j, van := range vans {
+				row[j] = sweepCell(ve0, van, sn, l0, p)
+			}
+		}(res.Cells[i], ve0)
 	}
+	wg.Wait()
 	return res
 }
 

@@ -1,0 +1,435 @@
+// Package engine is the shared concurrent run-execution subsystem: one
+// scheduler and one result cache behind every layer that fans out
+// closed-loop simulations (the MRF searches in metrics, the Table-1 /
+// headline / baseline campaigns in experiments, and the CLIs).
+//
+// The paper's validation protocol (§4.2, Table 1) is embarrassingly
+// parallel — every measurement is a seeded run at a (scenario, FPR,
+// seed) point — so the engine models exactly that: a Job names a point,
+// a worker pool sized to runtime.GOMAXPROCS executes points, and an
+// in-memory cache keyed by the point guarantees repeated campaigns
+// (an MRF search followed by a Table-1 estimate pass, collision-rate
+// curves, ablations) never re-simulate a point the process has already
+// run. Runs are deterministic in (scenario, FPR, seed), which is what
+// makes the cache sound.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Runner executes one job. The default runner builds the scenario's
+// simulator configuration, applies the job's Configure hook, and runs
+// the closed-loop simulation; tests inject fakes.
+type Runner func(Job) (*sim.Result, error)
+
+// DefaultRunner is the production runner: one seeded closed-loop
+// simulation of the scenario at the job's rate.
+func DefaultRunner(j Job) (*sim.Result, error) {
+	cfg := j.Scenario.Build(j.FPR, j.Seed)
+	if j.Configure != nil {
+		j.Configure(&cfg)
+	}
+	return sim.Run(cfg)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the scheduler's pool size. 0 defaults to
+	// runtime.GOMAXPROCS(0): simulations are CPU-bound.
+	Workers int
+	// CacheSize bounds the number of retained results (FIFO eviction of
+	// completed entries). 0 defaults to 2048; negative disables caching
+	// entirely.
+	CacheSize int
+	// Runner executes jobs; nil defaults to DefaultRunner.
+	Runner Runner
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 2048
+	}
+	if o.Runner == nil {
+		o.Runner = DefaultRunner
+	}
+	return o
+}
+
+// Job is one schedulable run: a (scenario, FPR, seed) point, optionally
+// specialized by a configuration hook.
+type Job struct {
+	Scenario scenario.Scenario
+	FPR      float64
+	Seed     int64
+	// Variant discriminates non-default run configurations (e.g. a rate
+	// controller attached via Configure) in the cache key, so they never
+	// alias the plain run at the same point. Empty for plain runs.
+	Variant string
+	// NoCache schedules the job through the pool but bypasses the cache
+	// on both lookup and store. Required when Configure captures state
+	// the caller reads back after the run (controller alarm counts):
+	// serving such a job from cache would skip the side effects.
+	NoCache bool
+	// Configure mutates the built simulator configuration before the
+	// run. Only the default runner applies it. A job with a Configure
+	// hook must carry a Variant or NoCache so it cannot alias the plain
+	// run's cache slot; the engine forces NoCache otherwise.
+	Configure func(*sim.Config)
+}
+
+// Key is the cache identity of a job.
+type Key struct {
+	Scenario string
+	FPR      float64
+	Seed     int64
+	Variant  string
+}
+
+func (j Job) key() Key {
+	return Key{Scenario: j.Scenario.Name, FPR: j.FPR, Seed: j.Seed, Variant: j.Variant}
+}
+
+// Outcome pairs a job with its result.
+type Outcome struct {
+	Job    Job
+	Result *sim.Result
+	Cached bool // served from the cache (or joined an in-flight execution)
+	Err    error
+}
+
+// CampaignStats summarizes one batch submission.
+type CampaignStats struct {
+	Jobs      int // points submitted
+	Executed  int // simulations actually run by this campaign
+	CacheHits int // points served from the cache or a shared in-flight run
+	Failures  int // runs that returned a real error
+	Skipped   int // points cancelled before execution (first-error propagation)
+	Wall      time.Duration
+}
+
+// BatchResult is the outcome of RunBatch: per-job outcomes in
+// submission order plus campaign stats.
+type BatchResult struct {
+	Outcomes []Outcome
+	Stats    CampaignStats
+}
+
+// Stats are engine-lifetime counters.
+type Stats struct {
+	Executed  int64 // simulations run
+	CacheHits int64
+	Failures  int64
+}
+
+// entry is a cache slot doubling as the singleflight rendezvous:
+// whoever creates it owns the execution, everyone else waits on done.
+type entry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+type task struct {
+	ctx        context.Context
+	job        Job
+	ent        *entry
+	registered bool // ent lives in the cache map
+}
+
+// Engine schedules runs onto a fixed worker pool and caches results.
+// The zero value is not usable; construct with New. An Engine is safe
+// for concurrent use and is intended to be long-lived (its workers are
+// daemon goroutines started on first use).
+type Engine struct {
+	opts Options
+
+	start sync.Once
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*task
+	closed bool
+	cache  map[Key]*entry
+	order  []Key // insertion order for FIFO eviction
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+	failures  atomic.Int64
+}
+
+// New builds an engine. Workers are started lazily on first submission.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults(), cache: make(map[Key]*entry)}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+var defaultEngine = struct {
+	once sync.Once
+	e    *Engine
+}{}
+
+// Default returns the process-wide shared engine, creating it with
+// default options on first use. Sharing one engine across layers is
+// what lets a Table-1 estimate pass reuse the MRF search's runs.
+func Default() *Engine {
+	defaultEngine.once.Do(func() { defaultEngine.e = New(Options{}) })
+	return defaultEngine.e
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats snapshots the engine-lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:  e.executed.Load(),
+		CacheHits: e.cacheHits.Load(),
+		Failures:  e.failures.Load(),
+	}
+}
+
+func (e *Engine) startWorkers() {
+	e.start.Do(func() {
+		for i := 0; i < e.opts.Workers; i++ {
+			go e.worker()
+		}
+	})
+}
+
+func (e *Engine) worker() {
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			// Closed and drained: the pool winds down.
+			e.mu.Unlock()
+			return
+		}
+		t := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		e.execute(t)
+	}
+}
+
+// ErrClosed is returned for jobs submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+func (e *Engine) enqueue(t *task) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.finish(t, nil, ErrClosed)
+		return
+	}
+	e.queue = append(e.queue, t)
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// Close winds the pool down: queued and in-flight jobs complete, then
+// the workers exit. Jobs submitted afterwards fail with ErrClosed.
+// Cached results remain readable only through jobs already joined; use
+// Close for short-lived engines (benchmarks, one-shot campaigns) so
+// their workers don't outlive them. The shared Default engine is never
+// closed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+func (e *Engine) execute(t *task) {
+	if err := t.ctx.Err(); err != nil {
+		e.finish(t, nil, err)
+		return
+	}
+	res, err := e.opts.Runner(t.job)
+	if err != nil {
+		e.failures.Add(1)
+	}
+	e.executed.Add(1)
+	e.finish(t, res, err)
+}
+
+// finish publishes the task's outcome. Failures are never cached:
+// cancellations and shutdown rejections mean the point was not actually
+// measured, and run errors may be transient (the runner is injectable),
+// so a later campaign must be able to schedule the point again. Only
+// successful results are retained.
+func (e *Engine) finish(t *task, res *sim.Result, err error) {
+	t.ent.res, t.ent.err = res, err
+	if t.registered && err != nil {
+		e.mu.Lock()
+		if e.cache[t.job.key()] == t.ent {
+			delete(e.cache, t.job.key())
+		}
+		e.mu.Unlock()
+	}
+	close(t.ent.done)
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run executes one job, serving it from the cache when possible. It
+// blocks until the result is available or ctx is cancelled.
+func (e *Engine) Run(ctx context.Context, job Job) (*sim.Result, error) {
+	res, _, err := e.run(ctx, job)
+	return res, err
+}
+
+// run reports whether the result came from the cache (including joining
+// a run another caller already had in flight).
+func (e *Engine) run(ctx context.Context, job Job) (*sim.Result, bool, error) {
+	e.startWorkers()
+	if job.Configure != nil && job.Variant == "" {
+		// Un-discriminated configured runs would poison the plain run's
+		// cache slot at the same point.
+		job.NoCache = true
+	}
+	cacheable := !job.NoCache && e.opts.CacheSize > 0
+	if cacheable {
+		key := job.key()
+		for {
+			e.mu.Lock()
+			ent, ok := e.cache[key]
+			if !ok {
+				// Claim the point: we own the execution, later callers
+				// join it through the entry. Wait unconditionally: the
+				// worker finishes every task — with ctx's error when
+				// cancelled before starting — so jobs that did start
+				// always report their real outcome, never a spurious
+				// cancellation.
+				ent = &entry{done: make(chan struct{})}
+				e.cache[key] = ent
+				e.order = append(e.order, key)
+				e.evictLocked()
+				e.mu.Unlock()
+				e.enqueue(&task{ctx: ctx, job: job, ent: ent, registered: true})
+				<-ent.done
+				return ent.res, false, ent.err
+			}
+			e.mu.Unlock()
+			select {
+			case <-ent.done:
+				if !isCancellation(ent.err) {
+					e.cacheHits.Add(1)
+					return ent.res, true, ent.err
+				}
+				// The owner was cancelled before the point ran; loop
+				// and try to claim it ourselves.
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+	}
+
+	ent := &entry{done: make(chan struct{})}
+	t := &task{ctx: ctx, job: job, ent: ent}
+	e.enqueue(t)
+	<-ent.done
+	return ent.res, false, ent.err
+}
+
+// evictLocked drops the oldest completed entries until the cache fits.
+// In-flight entries are skipped: evicting one would detach waiters.
+func (e *Engine) evictLocked() {
+	for len(e.cache) > e.opts.CacheSize {
+		evicted := false
+		for i, key := range e.order {
+			ent, ok := e.cache[key]
+			if !ok {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-ent.done:
+				delete(e.cache, key)
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything in flight; let the cache overshoot
+		}
+	}
+}
+
+// RunBatch submits a campaign: all jobs are scheduled onto the shared
+// pool and execute concurrently up to the worker limit. The first real
+// run error cancels the jobs that have not started yet (first-error
+// propagation); jobs already running complete. The returned error joins
+// every real run error (errors.Join); cancellations of skipped jobs are
+// reported per-outcome but not joined. Outcomes align with jobs by
+// index.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error) {
+	startAt := time.Now()
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outcomes := make([]Outcome, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			res, cached, err := e.run(bctx, j)
+			outcomes[i] = Outcome{Job: j, Result: res, Cached: cached, Err: err}
+			if err != nil && !isCancellation(err) {
+				cancel()
+			}
+		}(i, j)
+	}
+	wg.Wait()
+
+	br := &BatchResult{Outcomes: outcomes}
+	br.Stats.Jobs = len(jobs)
+	var errs []error
+	for _, o := range outcomes {
+		switch {
+		case o.Err == nil && o.Cached:
+			br.Stats.CacheHits++
+		case o.Err == nil:
+			br.Stats.Executed++
+		case isCancellation(o.Err):
+			br.Stats.Skipped++
+		default:
+			br.Stats.Failures++
+			br.Stats.Executed++
+			errs = append(errs, fmt.Errorf("engine: scenario %s fpr %g seed %d: %w", o.Job.Scenario.Name, o.Job.FPR, o.Job.Seed, o.Err))
+		}
+	}
+	br.Stats.Wall = time.Since(startAt)
+	if err := errors.Join(errs...); err != nil {
+		return br, err
+	}
+	// No run failed but points were skipped: the caller's own context
+	// was cancelled mid-campaign.
+	if err := ctx.Err(); err != nil {
+		return br, err
+	}
+	return br, nil
+}

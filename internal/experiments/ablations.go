@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/scenario"
 )
 
@@ -18,12 +19,15 @@ type AblationRow struct {
 	Evals     int // total constraint evaluations over the trace
 }
 
-// ablationTrace records the reference trace all ablations evaluate (the
-// cut-out-fast scenario at 30 FPR, seed 1) and returns an evaluator
-// that re-runs the offline Zhuyi model over it with custom parameters.
+// ablationTrace fetches the reference trace all ablations evaluate (the
+// cut-out-fast scenario at 30 FPR, seed 1) through the shared engine —
+// a cache hit whenever Table 1 or the figures already ran that point —
+// and returns an evaluator that re-runs the offline Zhuyi model over it
+// with custom parameters. The evaluator is safe for concurrent use: it
+// builds a fresh estimator per call and only reads the shared trace.
 func ablationTrace() func(core.Params, core.AggregateOptions) (AblationRow, error) {
 	sc, _ := scenario.ByName(scenario.CutOutFast)
-	res, err := metrics.RunScenario(sc, 30, 1)
+	res, err := engine.Default().Run(context.Background(), engine.Job{Scenario: sc, FPR: 30, Seed: 1})
 	eval := func(p core.Params, agg core.AggregateOptions) (AblationRow, error) {
 		if err != nil {
 			return AblationRow{}, err
@@ -52,16 +56,20 @@ func ConfirmationDepthAblation(ks []int) ([]AblationRow, error) {
 		ks = []int{1, 3, 5, 8}
 	}
 	eval := ablationTrace()
-	var rows []AblationRow
-	for _, k := range ks {
+	rows := make([]AblationRow, len(ks))
+	err := forEachIndex(len(ks), func(i int) error {
 		p := core.DefaultParams()
-		p.K = k
+		p.K = ks[i]
 		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row.Label = fmt.Sprintf("K=%d", k)
-		rows = append(rows, row)
+		row.Label = fmt.Sprintf("K=%d", ks[i])
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -70,22 +78,27 @@ func ConfirmationDepthAblation(ks []int) ([]AblationRow, error) {
 // the steady-state assumption on the same trace.
 func AlphaModelAblation() ([]AblationRow, error) {
 	eval := ablationTrace()
-	var rows []AblationRow
-	for _, mode := range []struct {
+	modes := []struct {
 		label string
 		alpha core.AlphaModel
 	}{
 		{"alpha=K(l-l0) (paper)", core.AlphaPaper},
 		{"alpha=0 (steady state)", core.AlphaZero},
-	} {
+	}
+	rows := make([]AblationRow, len(modes))
+	err := forEachIndex(len(modes), func(i int) error {
 		p := core.DefaultParams()
-		p.Alpha = mode.alpha
+		p.Alpha = modes[i].alpha
 		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row.Label = mode.label
-		rows = append(rows, row)
+		row.Label = modes[i].label
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -94,22 +107,27 @@ func AlphaModelAblation() ([]AblationRow, error) {
 // naive fixed stepping — the paper's performance optimization.
 func SearchModeAblation() ([]AblationRow, error) {
 	eval := ablationTrace()
-	var rows []AblationRow
-	for _, mode := range []struct {
+	modes := []struct {
 		label string
 		naive bool
 	}{
 		{"eq3 accelerated", false},
 		{"naive 10ms steps", true},
-	} {
+	}
+	rows := make([]AblationRow, len(modes))
+	err := forEachIndex(len(modes), func(i int) error {
 		p := core.DefaultParams()
-		p.NaiveSearch = mode.naive
+		p.NaiveSearch = modes[i].naive
 		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row.Label = mode.label
-		rows = append(rows, row)
+		row.Label = modes[i].label
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -121,15 +139,20 @@ func UncertaintyAblation(sigmas []float64) ([]AblationRow, error) {
 		sigmas = []float64{0, 0.5, 1, 2}
 	}
 	eval := ablationTrace()
-	var rows []AblationRow
-	for _, sigma := range sigmas {
+	rows := make([]AblationRow, len(sigmas))
+	err := forEachIndex(len(sigmas), func(i int) error {
+		sigma := sigmas[i]
 		p := core.Uncertainty{PosSigma: sigma, SpeedSigma: sigma / 2}.Apply(core.DefaultParams())
 		row, err := eval(p, core.AggregateOptions{Mode: core.AggPercentile, Percentile: 99})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Label = fmt.Sprintf("sigma=%.1fm", sigma)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -164,17 +187,21 @@ func AggregationAblation() ([]AggregationRow, error) {
 		{"p90", core.AggregateOptions{Mode: core.AggPercentile, Percentile: 90}},
 		{"weighted mean", core.AggregateOptions{Mode: core.AggMean}},
 	}
-	var rows []AggregationRow
-	for _, m := range modes {
-		s, err := figure7WithAgg(30, 1, m.agg)
+	rows := make([]AggregationRow, len(modes))
+	err := forEachIndex(len(modes), func(i int) error {
+		s, err := figure7WithAgg(30, 1, modes[i].agg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AggregationRow{
-			Label:      m.label,
+		rows[i] = AggregationRow{
+			Label:      modes[i].label,
 			MinLatency: s.MinOnline(),
 			Variance:   s.Variance(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
-	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/world"
 )
@@ -34,40 +35,50 @@ type BaselineRow struct {
 }
 
 // BaselineComparison runs the Suraksha-style search and the Zhuyi
-// evaluation for each scenario.
+// evaluation for each scenario, concurrently on opt.Engine. The Zhuyi
+// trace at the uniform operating point is a cache hit: the grid
+// search's MRF waves already simulated it.
 func BaselineComparison(opt Options) ([]BaselineRow, error) {
 	opt = opt.withDefaults()
-	var rows []BaselineRow
-	for _, sc := range scenario.All() {
+	defer opt.release()
+	ctx := context.Background()
+	scenarios := scenario.All()
+	rows := make([]BaselineRow, len(scenarios))
+	err := forEachIndex(len(scenarios), func(i int) error {
+		sc := scenarios[i]
 		row := BaselineRow{Scenario: sc.Name}
-		gs, err := baseline.UniformGridSearch(sc, opt.FPRGrid, opt.Seeds, 3)
+		gs, err := baseline.UniformGridSearchContext(ctx, opt.Engine, sc, opt.FPRGrid, opt.Seeds, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SearchRuns = gs.Runs
 		if !gs.Feasible {
-			rows = append(rows, row)
-			continue
+			rows[i] = row
+			return nil
 		}
 		row.UniformFPR = gs.MinUniformFPR
 		row.UniformTotal = gs.TotalFPR
 
 		// Zhuyi's demand at the uniform operating point.
-		res, err := metrics.RunScenario(sc, gs.MinUniformFPR, 1)
+		res, err := opt.Engine.Run(ctx, engine.Job{Scenario: sc, FPR: gs.MinUniformFPR, Seed: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		est := core.NewEstimator()
 		off, err := est.EvaluateTrace(res.Trace, core.OfflineOptions{EvalEvery: opt.EvalEvery})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.ZhuyiPeakSum = off.MaxSumFPR()
 		row.ZhuyiMeanSum = off.MeanSumFPR()
 		if row.UniformTotal > 0 {
 			row.Savings = 1 - row.ZhuyiMeanSum/row.UniformTotal
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -32,7 +32,9 @@ func TestBaselineComparison(t *testing.T) {
 			t.Errorf("Zhuyi demand %v far above the uniform total %v", r.ZhuyiPeakSum, r.UniformTotal)
 		}
 	}
-	// Search cost bookkeeping: the grid search pays rates x seeds runs.
+	// Search cost bookkeeping: the reported Suraksha cost stays the
+	// protocol's exhaustive rates x seeds, independent of how few points
+	// the adaptive engine-backed search actually scheduled.
 	opt := quickOptions()
 	wantRuns := len(opt.FPRGrid) * opt.Seeds
 	for _, r := range rows {

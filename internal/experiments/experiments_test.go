@@ -10,9 +10,10 @@ import (
 
 // quickOptions keeps experiment tests fast: 2 seeds and a reduced rate
 // grid that still brackets every scenario's true MRF (so the grid does
-// not inflate MRF past the estimates).
+// not inflate MRF past the estimates). Tests share the default engine,
+// so overlapping campaigns reuse each other's runs from the cache.
 func quickOptions() Options {
-	return Options{Seeds: 2, FPRGrid: []float64{1, 2, 3, 5, 30}, Workers: 4}
+	return Options{Seeds: 2, FPRGrid: []float64{1, 2, 3, 5, 30}}
 }
 
 func TestTable1QuickGrid(t *testing.T) {
@@ -276,7 +277,18 @@ func TestPrioritizationBeatsUniformUnderTightBudget(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Seeds != 10 || len(o.FPRGrid) != 12 || o.EvalEvery != 0.1 || o.Workers != 8 {
+	if o.Seeds != 10 || len(o.FPRGrid) != 12 || o.EvalEvery != 0.1 {
 		t.Errorf("defaults = %+v", o)
+	}
+	if o.Engine == nil {
+		t.Fatal("no default engine")
+	}
+	if o.Engine.Workers() < 1 {
+		t.Errorf("default engine workers = %d", o.Engine.Workers())
+	}
+	// An explicit worker count sizes a private pool.
+	o = Options{Workers: 3}.withDefaults()
+	if o.Engine.Workers() != 3 {
+		t.Errorf("private engine workers = %d, want 3", o.Engine.Workers())
 	}
 }

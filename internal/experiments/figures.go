@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/plot"
 	"repro/internal/predict"
 	"repro/internal/scenario"
@@ -31,13 +32,14 @@ type FigureSeries struct {
 
 // CameraLatencyFigure runs the named scenario once at the given rate
 // and evaluates the trace offline — the pre-deployment flow behind
-// Figures 4–6.
+// Figures 4–6. The run goes through the shared engine, so regenerating
+// a figure after a Table-1 campaign reuses the recorded trace.
 func CameraLatencyFigure(name string, fpr float64, seed int64) (*FigureSeries, error) {
 	sc, ok := scenario.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
 	}
-	res, err := metrics.RunScenario(sc, fpr, seed)
+	res, err := engine.Default().Run(context.Background(), engine.Job{Scenario: sc, FPR: fpr, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +154,6 @@ func figure7WithAgg(fpr float64, seed int64, agg core.AggregateOptions) (*Online
 	if !ok {
 		return nil, fmt.Errorf("experiments: cut-in scenario missing")
 	}
-	cfg := sc.Build(fpr, seed)
 	est := core.NewEstimator()
 	est.Agg = agg
 	probe := &onlineProbe{
@@ -160,9 +161,17 @@ func figure7WithAgg(fpr float64, seed int64, agg core.AggregateOptions) (*Online
 		pred: predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
 		l0:   1 / fpr,
 	}
-	cfg.RateController = probe
-	cfg.RateEpoch = 0.1
-	res, err := sim.Run(cfg)
+	// The probe records estimates from inside the loop, so this run is a
+	// NoCache variant: replaying it from cache would leave the probe
+	// empty.
+	res, err := engine.Default().Run(context.Background(), engine.Job{
+		Scenario: sc, FPR: fpr, Seed: seed,
+		Variant: "online-probe", NoCache: true,
+		Configure: func(cfg *sim.Config) {
+			cfg.RateController = probe
+			cfg.RateEpoch = 0.1
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -210,13 +219,13 @@ func (s *OnlineSeries) Variance() float64 {
 
 // MinOnline returns the tightest online front-camera estimate.
 func (s *OnlineSeries) MinOnline() float64 {
-	min := math.Inf(1)
+	tightest := math.Inf(1)
 	for _, l := range s.Front {
-		if l < min {
-			min = l
+		if l < tightest {
+			tightest = l
 		}
 	}
-	return min
+	return tightest
 }
 
 // WriteOnlineSeries renders Figure 7 as text with sparkline overviews.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/predict"
 	"repro/internal/safety"
 	"repro/internal/scenario"
@@ -28,30 +30,32 @@ type HeadlineRow struct {
 }
 
 // Headline runs every scenario twice — fixed 30 FPR and Zhuyi-
-// controlled — and reports frames processed and safety outcomes.
+// controlled — on the shared default engine. See HeadlineContext.
 func Headline(seed int64) ([]HeadlineRow, error) {
-	var rows []HeadlineRow
-	for _, sc := range scenario.All() {
-		row, err := headlineRow(sc, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	return HeadlineContext(context.Background(), engine.Default(), seed)
+}
+
+// HeadlineContext computes every scenario row concurrently; the
+// baseline runs are plain cacheable points, while the controller runs
+// are NoCache variants (the controller accumulates alarm state the row
+// reads back, so serving them from cache would be wrong).
+func HeadlineContext(ctx context.Context, eng *engine.Engine, seed int64) ([]HeadlineRow, error) {
+	scenarios := scenario.All()
+	rows := make([]HeadlineRow, len(scenarios))
+	err := forEachIndex(len(scenarios), func(i int) error {
+		row, err := headlineRow(ctx, eng, scenarios[i], seed)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func headlineRow(sc scenario.Scenario, seed int64) (HeadlineRow, error) {
+func headlineRow(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, seed int64) (HeadlineRow, error) {
 	row := HeadlineRow{Scenario: sc.Name}
 
-	base, err := sim.Run(sc.Build(30, seed))
-	if err != nil {
-		return row, err
-	}
-	row.BaselineSafe = !base.Collided()
-	row.BaselineFrames = totalFrames(base)
-
-	cfg := sc.Build(30, seed)
 	est := core.NewEstimator()
 	est.Cameras = est.Rig.Names() // the controller manages every camera
 	ctrl := safety.NewController(
@@ -59,12 +63,21 @@ func headlineRow(sc scenario.Scenario, seed int64) (HeadlineRow, error) {
 		predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
 		safety.DefaultControllerConfig(),
 	)
-	cfg.RateController = ctrl
-	cfg.FPR = 30 // start at the provisioned rate; the controller lowers it
-	res, err := sim.Run(cfg)
+	batch, err := eng.RunBatch(ctx, []engine.Job{
+		{Scenario: sc, FPR: 30, Seed: seed},
+		{
+			Scenario: sc, FPR: 30, Seed: seed,
+			Variant: "zhuyi-controller", NoCache: true,
+			// Start at the provisioned rate; the controller lowers it.
+			Configure: func(cfg *sim.Config) { cfg.RateController = ctrl },
+		},
+	})
 	if err != nil {
 		return row, err
 	}
+	base, res := batch.Outcomes[0].Result, batch.Outcomes[1].Result
+	row.BaselineSafe = !base.Collided()
+	row.BaselineFrames = totalFrames(base)
 	row.ZhuyiSafe = !res.Collided()
 	row.ZhuyiFrames = totalFrames(res)
 	if row.BaselineFrames > 0 {
@@ -97,13 +110,13 @@ func WriteHeadline(w io.Writer, rows []HeadlineRow) {
 // MaxFrameFraction returns the largest Zhuyi/baseline frame ratio
 // across rows.
 func MaxFrameFraction(rows []HeadlineRow) float64 {
-	max := 0.0
+	maxFrac := 0.0
 	for _, r := range rows {
-		if r.FrameFraction > max {
-			max = r.FrameFraction
+		if r.FrameFraction > maxFrac {
+			maxFrac = r.FrameFraction
 		}
 	}
-	return max
+	return maxFrac
 }
 
 // AllSafe reports whether every Zhuyi-controlled run avoided collision.
@@ -127,7 +140,7 @@ type PrioritizationRow struct {
 }
 
 // Prioritization runs a scenario under a constrained total budget with
-// both allocators.
+// both allocators, concurrently on the shared default engine.
 func Prioritization(name string, budget float64, seed int64) (PrioritizationRow, error) {
 	row := PrioritizationRow{Scenario: name, Budget: budget}
 	sc, ok := scenario.ByName(name)
@@ -135,31 +148,37 @@ func Prioritization(name string, budget float64, seed int64) (PrioritizationRow,
 		return row, fmt.Errorf("experiments: unknown scenario %q", name)
 	}
 
-	uniform := sc.Build(30, seed)
-	if uniform.Rig == nil {
-		uniform.Rig = sensor.DefaultRig()
-	}
-	uniform.RateController = safety.UniformRates{Cameras: uniform.Rig.Names(), Budget: budget}
-	ures, err := sim.Run(uniform)
-	if err != nil {
-		return row, err
-	}
-	row.UniformSafe = !ures.Collided()
-
-	prioritized := sc.Build(30, seed)
 	est := core.NewEstimator()
 	est.Cameras = est.Rig.Names()
-	cfg := safety.DefaultControllerConfig()
-	cfg.Budget = budget
-	prioritized.RateController = safety.NewController(
-		est,
-		predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
-		cfg,
-	)
-	pres, err := sim.Run(prioritized)
+	ccfg := safety.DefaultControllerConfig()
+	ccfg.Budget = budget
+	batch, err := engine.Default().RunBatch(context.Background(), []engine.Job{
+		{
+			Scenario: sc, FPR: 30, Seed: seed,
+			Variant: fmt.Sprintf("uniform-budget-%g", budget), NoCache: true,
+			Configure: func(cfg *sim.Config) {
+				if cfg.Rig == nil {
+					cfg.Rig = sensor.DefaultRig()
+				}
+				cfg.RateController = safety.UniformRates{Cameras: cfg.Rig.Names(), Budget: budget}
+			},
+		},
+		{
+			Scenario: sc, FPR: 30, Seed: seed,
+			Variant: fmt.Sprintf("zhuyi-budget-%g", budget), NoCache: true,
+			Configure: func(cfg *sim.Config) {
+				cfg.RateController = safety.NewController(
+					est,
+					predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1},
+					ccfg,
+				)
+			},
+		},
+	})
 	if err != nil {
 		return row, err
 	}
-	row.ZhuyiSafe = !pres.Collided()
+	row.UniformSafe = !batch.Outcomes[0].Result.Collided()
+	row.ZhuyiSafe = !batch.Outcomes[1].Result.Collided()
 	return row, nil
 }

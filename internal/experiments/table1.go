@@ -7,24 +7,37 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
 
 // Options controls experiment scale. The zero value is upgraded to the
-// paper's protocol (10 seeds, the Table-1 FPR grid).
+// paper's protocol (10 seeds, the Table-1 FPR grid) on the shared
+// default run engine.
 type Options struct {
 	Seeds     int       // runs per configuration (paper: 10)
 	FPRGrid   []float64 // tested rates (paper: 1..10, 15, 30)
 	EvalEvery float64   // offline evaluation period, s
-	Workers   int       // concurrent simulations (default 8)
+	// Workers sizes a private engine when Engine is nil; 0 keeps the
+	// shared default engine (pool sized to GOMAXPROCS).
+	Workers int
+	// Engine schedules and caches every closed-loop run. nil selects
+	// engine.Default() (or a private pool when Workers is set), so
+	// consecutive experiments in one process reuse each other's runs.
+	Engine *engine.Engine
+
+	// ownEngine marks a private pool built by withDefaults; the entry
+	// point that built it closes it, so repeated calls with Workers set
+	// don't leak worker goroutines and caches.
+	ownEngine bool
 }
 
 func (o Options) withDefaults() Options {
@@ -37,10 +50,23 @@ func (o Options) withDefaults() Options {
 	if o.EvalEvery <= 0 {
 		o.EvalEvery = 0.1
 	}
-	if o.Workers <= 0 {
-		o.Workers = 8
+	if o.Engine == nil {
+		if o.Workers > 0 {
+			o.Engine = engine.New(engine.Options{Workers: o.Workers})
+			o.ownEngine = true
+		} else {
+			o.Engine = engine.Default()
+		}
 	}
 	return o
+}
+
+// release winds down a private pool built by withDefaults. Caller-
+// provided engines and the shared default are left running.
+func (o Options) release() {
+	if o.ownEngine {
+		o.Engine.Close()
+	}
 }
 
 // Table1Row is one scenario row of Table 1.
@@ -65,36 +91,29 @@ type Table1Row struct {
 // required FPR from closed-loop runs and the offline Zhuyi estimates
 // from traces recorded at each tested rate.
 func Table1(opt Options) ([]Table1Row, error) {
+	return Table1Context(context.Background(), opt)
+}
+
+// Table1Context is Table1 with cancellation. Scenario rows assemble
+// concurrently; every underlying run is scheduled on opt.Engine, so the
+// estimate pass reuses the MRF search's simulations as cache hits.
+func Table1Context(ctx context.Context, opt Options) ([]Table1Row, error) {
 	opt = opt.withDefaults()
+	defer opt.release()
 	scenarios := scenario.All()
 	rows := make([]Table1Row, len(scenarios))
-	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	for i, sc := range scenarios {
-		wg.Add(1)
-		go func(i int, sc scenario.Scenario) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			row, err := table1Row(sc, opt)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			rows[i] = row
-		}(i, sc)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := forEachIndex(len(scenarios), func(i int) error {
+		row, err := table1Row(ctx, scenarios[i], opt)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func table1Row(sc scenario.Scenario, opt Options) (Table1Row, error) {
+func table1Row(ctx context.Context, sc scenario.Scenario, opt Options) (Table1Row, error) {
 	row := Table1Row{
 		Scenario:    sc.Name,
 		EgoSpeedMPH: sc.EgoSpeedMPH,
@@ -103,41 +122,57 @@ func table1Row(sc scenario.Scenario, opt Options) (Table1Row, error) {
 		Left:        sc.LeftActivity,
 		Estimates:   make(map[float64]float64, len(opt.FPRGrid)),
 	}
-	mrf, err := metrics.FindMRF(sc, opt.FPRGrid, opt.Seeds)
+	mrf, err := metrics.FindMRFContext(ctx, opt.Engine, sc, opt.FPRGrid, opt.Seeds)
 	if err != nil {
 		return row, err
 	}
 	row.MRF = mrf
 
-	est := core.NewEstimator()
-	maxSum := 0.0
+	// Estimate pass: one batched campaign over every safe rate × seed.
+	// The MRF search already simulated exactly these points (its
+	// descending waves stop below the MRF), so this pass is ideally all
+	// cache hits.
+	var jobs []engine.Job
 	for _, fpr := range opt.FPRGrid {
 		if fpr < mrf.Value {
 			row.Estimates[fpr] = math.NaN() // the paper's N/A
 			continue
 		}
-		sum := 0.0
-		n := 0
 		for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
-			res, err := metrics.RunScenario(sc, fpr, seed)
-			if err != nil {
-				return row, err
-			}
-			if res.Collided() {
-				continue // rare boundary collision at a nominally safe rate
-			}
-			off, err := est.EvaluateTrace(res.Trace, core.OfflineOptions{EvalEvery: opt.EvalEvery})
-			if err != nil {
-				return row, err
-			}
-			sum += off.MaxFPR()
-			n++
-			if s := off.MaxSumFPR(); s > maxSum {
-				maxSum = s
-			}
+			jobs = append(jobs, engine.Job{Scenario: sc, FPR: fpr, Seed: seed})
 		}
-		if n > 0 {
-			row.Estimates[fpr] = sum / float64(n)
+	}
+	batch, err := opt.Engine.RunBatch(ctx, jobs)
+	if err != nil {
+		return row, err
+	}
+
+	est := core.NewEstimator()
+	sums := make(map[float64]float64, len(opt.FPRGrid))
+	counts := make(map[float64]int, len(opt.FPRGrid))
+	maxSum := 0.0
+	// Outcomes follow job submission order (ascending rate, then seed),
+	// keeping the float accumulation deterministic.
+	for _, o := range batch.Outcomes {
+		if o.Result.Collided() {
+			continue // rare boundary collision at a nominally safe rate
+		}
+		off, err := est.EvaluateTrace(o.Result.Trace, core.OfflineOptions{EvalEvery: opt.EvalEvery})
+		if err != nil {
+			return row, err
+		}
+		sums[o.Job.FPR] += off.MaxFPR()
+		counts[o.Job.FPR]++
+		if s := off.MaxSumFPR(); s > maxSum {
+			maxSum = s
+		}
+	}
+	for _, fpr := range opt.FPRGrid {
+		if fpr < mrf.Value {
+			continue
+		}
+		if n := counts[fpr]; n > 0 {
+			row.Estimates[fpr] = sums[fpr] / float64(n)
 		} else {
 			row.Estimates[fpr] = math.NaN()
 		}
@@ -209,11 +244,11 @@ func yn(b bool) string {
 // MaxFraction returns the largest resource fraction across rows — the
 // abstract's "36% or fewer frames" headline number.
 func MaxFraction(rows []Table1Row) float64 {
-	max := 0.0
+	maxFrac := 0.0
 	for _, r := range rows {
-		if r.Fraction > max {
-			max = r.Fraction
+		if r.Fraction > maxFrac {
+			maxFrac = r.Fraction
 		}
 	}
-	return max
+	return maxFrac
 }

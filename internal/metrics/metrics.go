@@ -2,13 +2,17 @@
 // minimum required FPR (MRF) search — "the FPR above which no collision
 // was detected in the scenario" (§4.2) — run over multiple seeds to
 // absorb simulation nondeterminism, and per-run summary statistics.
+// All run fan-out goes through the shared internal/engine scheduler, so
+// campaigns are parallel, cancellable, and cached.
 package metrics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -20,10 +24,16 @@ func DefaultFPRGrid() []float64 {
 
 // MRF is the result of a minimum-required-FPR search.
 type MRF struct {
-	Scenario   string
-	Value      float64         // minimum safe FPR; 0 encodes "<1" (safe at every tested rate)
-	Collisions map[float64]int // tested FPR -> collision count across seeds
+	Scenario string
+	Value    float64 // minimum safe FPR; 0 encodes "<1" (safe at every tested rate)
+	// Collisions maps tested FPR -> collision count across seeds. Rates
+	// the adaptive search skipped (strictly below the highest colliding
+	// rate: they cannot change the MRF) have no entry.
+	Collisions map[float64]int
 	Seeds      int
+	// Runs counts the points scheduled through the engine, including
+	// cache hits — the campaign cost before caching.
+	Runs int
 }
 
 // BelowGrid reports whether the scenario was safe even at the lowest
@@ -38,68 +48,50 @@ func (m MRF) String() string {
 	return fmt.Sprintf("%g", m.Value)
 }
 
-// RunScenario executes one seeded run of a scenario at a fixed FPR.
+// RunScenario executes one seeded run of a scenario at a fixed FPR,
+// directly and uncached — the raw primitive under the engine's default
+// runner. Campaign code should prefer engine jobs.
 func RunScenario(sc scenario.Scenario, fpr float64, seed int64) (*sim.Result, error) {
 	return sim.Run(sc.Build(fpr, seed))
 }
 
-// FindMRF runs the scenario at every rate in fprs (ascending) with the
-// given number of seeds and returns the minimum rate from which no
-// collision occurs at that rate or any higher tested rate. Runs execute
-// concurrently across (fpr, seed) pairs.
+// FindMRF searches the scenario's minimum required FPR on the shared
+// default engine. See FindMRFContext.
 func FindMRF(sc scenario.Scenario, fprs []float64, seeds int) (MRF, error) {
+	return FindMRFContext(context.Background(), engine.Default(), sc, fprs, seeds)
+}
+
+// FindMRFContext runs the scenario over the ascending rate grid with
+// the given number of seeds and returns the minimum rate from which no
+// collision occurs at that rate or any higher tested rate.
+//
+// The search is adaptive: rates are evaluated from the highest down, one
+// seeds-wide wave at a time, and stops at the first rate that shows a
+// collision — every lower rate is irrelevant to the MRF by definition
+// ("that rate AND all higher rates collision-free"), so the exhaustive
+// rates×seeds sweep of the naive protocol is avoided. Each wave runs
+// concurrently on the engine's pool, and points already simulated by an
+// earlier campaign are cache hits. Waves always run all seeds to
+// completion, keeping Collisions counts deterministic.
+//
+// All run failures are collected and returned joined (errors.Join),
+// each annotated with its (scenario, fpr, seed) point.
+func FindMRFContext(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, fprs []float64, seeds int) (MRF, error) {
 	res := MRF{Scenario: sc.Name, Collisions: make(map[float64]int, len(fprs)), Seeds: seeds}
-
-	type key struct {
-		fpr  float64
-		seed int64
-	}
-	type outcome struct {
-		k        key
-		collided bool
-		err      error
-	}
-	jobs := make([]key, 0, len(fprs)*seeds)
-	for _, f := range fprs {
-		for s := 0; s < seeds; s++ {
-			jobs = append(jobs, key{fpr: f, seed: int64(s + 1)})
-		}
+	if seeds <= 0 {
+		// An empty wave would declare every rate collision-free.
+		return res, fmt.Errorf("metrics: FindMRF needs at least one seed, got %d", seeds)
 	}
 
-	out := make(chan outcome, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j key) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := RunScenario(sc, j.fpr, j.seed)
-			if err != nil {
-				out <- outcome{k: j, err: err}
-				return
-			}
-			out <- outcome{k: j, collided: r.Collided()}
-		}(j)
-	}
-	wg.Wait()
-	close(out)
-
-	for o := range out {
-		if o.err != nil {
-			return res, fmt.Errorf("metrics: scenario %s fpr %g seed %d: %w", sc.Name, o.k.fpr, o.k.seed, o.err)
-		}
-		if o.collided {
-			res.Collisions[o.k.fpr]++
-		}
-	}
-
-	// MRF: the lowest tested rate such that it and every higher tested
-	// rate are collision-free.
 	mrf := 0.0
 	for i := len(fprs) - 1; i >= 0; i-- {
-		if res.Collisions[fprs[i]] > 0 {
+		collided, err := collisionWave(ctx, eng, sc, fprs[i], seeds)
+		res.Runs += seeds
+		if err != nil {
+			return res, err
+		}
+		res.Collisions[fprs[i]] = collided
+		if collided > 0 {
 			if i == len(fprs)-1 {
 				mrf = math.Inf(1) // unsafe even at the highest tested rate
 			} else {
@@ -112,18 +104,51 @@ func FindMRF(sc scenario.Scenario, fprs []float64, seeds int) (MRF, error) {
 	return res, nil
 }
 
-// CollisionRate runs the scenario n times at the given FPR with seeds
-// 1..n and returns the fraction that collided.
-func CollisionRate(sc scenario.Scenario, fpr float64, n int) (float64, error) {
-	collisions := 0
-	for seed := int64(1); seed <= int64(n); seed++ {
-		r, err := RunScenario(sc, fpr, seed)
-		if err != nil {
-			return 0, err
-		}
-		if r.Collided() {
-			collisions++
+// collisionWave runs all seeds of one rate as a single engine campaign
+// and counts collisions.
+func collisionWave(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, fpr float64, seeds int) (int, error) {
+	jobs := make([]engine.Job, 0, seeds)
+	for s := 1; s <= seeds; s++ {
+		jobs = append(jobs, engine.Job{Scenario: sc, FPR: fpr, Seed: int64(s)})
+	}
+	batch, batchErr := eng.RunBatch(ctx, jobs)
+	collided := 0
+	var errs []error
+	for _, o := range batch.Outcomes {
+		switch {
+		case o.Err == nil:
+			if o.Result.Collided() {
+				collided++
+			}
+		case errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded):
+			// Skipped by cancellation, not a measurement failure.
+		default:
+			errs = append(errs, fmt.Errorf("metrics: scenario %s fpr %g seed %d: %w", sc.Name, o.Job.FPR, o.Job.Seed, o.Err))
 		}
 	}
-	return float64(collisions) / float64(n), nil
+	if len(errs) == 0 {
+		// No real failure: surface plain cancellation, if any.
+		return collided, batchErr
+	}
+	return collided, errors.Join(errs...)
+}
+
+// CollisionRate runs the scenario n times at the given FPR on the
+// shared default engine. See CollisionRateContext.
+func CollisionRate(sc scenario.Scenario, fpr float64, n int) (float64, error) {
+	return CollisionRateContext(context.Background(), engine.Default(), sc, fpr, n)
+}
+
+// CollisionRateContext runs the scenario n times at the given FPR with
+// seeds 1..n concurrently on the engine and returns the fraction that
+// collided. Failures are joined per point, like FindMRFContext.
+func CollisionRateContext(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, fpr float64, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("metrics: CollisionRate needs at least one run, got %d", n)
+	}
+	collided, err := collisionWave(ctx, eng, sc, fpr, n)
+	if err != nil {
+		return 0, err
+	}
+	return float64(collided) / float64(n), nil
 }

@@ -1,10 +1,17 @@
 package metrics
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func TestDefaultFPRGridMatchesTable1(t *testing.T) {
@@ -94,5 +101,104 @@ func TestCollisionRate(t *testing.T) {
 	}
 	if rate != 0 {
 		t.Errorf("benign collision rate = %v", rate)
+	}
+}
+
+// fakeEngine builds an engine whose runner fabricates outcomes from a
+// rule instead of simulating.
+func fakeEngine(workers int, run func(engine.Job) (*sim.Result, error)) *engine.Engine {
+	return engine.New(engine.Options{Workers: workers, Runner: run})
+}
+
+func TestFindMRFEarlyExitSkipsLowerRates(t *testing.T) {
+	// Collide at every rate below 10: the descending search must stop at
+	// the first colliding rate (5) and never schedule 1 or 2.
+	eng := fakeEngine(2, func(j engine.Job) (*sim.Result, error) {
+		res := &sim.Result{}
+		if j.FPR < 10 {
+			res.Collision = &trace.Collision{Time: 1, ActorID: "lead"}
+		}
+		return res, nil
+	})
+	sc := scenario.Scenario{Name: "fake"}
+	grid := []float64{1, 2, 5, 10, 30}
+	m, err := FindMRFContext(context.Background(), eng, sc, grid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value != 10 {
+		t.Errorf("MRF = %v, want 10", m.Value)
+	}
+	if m.Runs != 9 {
+		t.Errorf("runs = %d, want 9 (3 waves x 3 seeds)", m.Runs)
+	}
+	for _, fpr := range []float64{30, 10} {
+		if n, ok := m.Collisions[fpr]; !ok || n != 0 {
+			t.Errorf("Collisions[%g] = %d,%v; want 0,true", fpr, n, ok)
+		}
+	}
+	if n := m.Collisions[5]; n != 3 {
+		t.Errorf("Collisions[5] = %d, want 3", n)
+	}
+	for _, fpr := range []float64{1, 2} {
+		if _, ok := m.Collisions[fpr]; ok {
+			t.Errorf("rate %g was run despite early exit", fpr)
+		}
+	}
+}
+
+func TestFindMRFJoinsAllErrors(t *testing.T) {
+	// Every seed fails; with a pool as wide as the wave, a barrier
+	// guarantees all three start before the first error cancels
+	// anything, so all three failures must appear in the joined error.
+	var entered sync.WaitGroup
+	entered.Add(3)
+	eng := fakeEngine(3, func(j engine.Job) (*sim.Result, error) {
+		entered.Done()
+		entered.Wait()
+		return nil, fmt.Errorf("sim exploded at seed %d", j.Seed)
+	})
+	sc := scenario.Scenario{Name: "fake"}
+	_, err := FindMRFContext(context.Background(), eng, sc, []float64{30}, 3)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for seed := 1; seed <= 3; seed++ {
+		want := fmt.Sprintf("fpr 30 seed %d: sim exploded at seed %d", seed, seed)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestFindMRFCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := fakeEngine(1, func(j engine.Job) (*sim.Result, error) {
+		return &sim.Result{}, nil
+	})
+	sc := scenario.Scenario{Name: "fake"}
+	_, err := FindMRFContext(ctx, eng, sc, []float64{1, 2}, 2)
+	if err == nil {
+		t.Fatal("cancelled search returned nil error")
+	}
+}
+
+func TestCollisionRateParallelFake(t *testing.T) {
+	// Seeds 1..4: odd seeds collide -> rate 0.5, computed concurrently.
+	eng := fakeEngine(4, func(j engine.Job) (*sim.Result, error) {
+		res := &sim.Result{}
+		if j.Seed%2 == 1 {
+			res.Collision = &trace.Collision{Time: 1, ActorID: "x"}
+		}
+		return res, nil
+	})
+	sc := scenario.Scenario{Name: "fake"}
+	rate, err := CollisionRateContext(context.Background(), eng, sc, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.5 {
+		t.Errorf("rate = %v, want 0.5", rate)
 	}
 }

@@ -16,12 +16,42 @@
 //	res, _ := zhuyi.RunScenario(zhuyi.ScenarioCutOutFast, 30, 1)
 //	off, _ := est.EvaluateTrace(res.Trace, zhuyi.OfflineOptions{})
 //	fmt.Println(off.MaxFPR(), off.MaxSumFPR())
+//
+// # Running campaigns
+//
+// The paper's validation protocol is a batch of seeded closed-loop
+// runs over (scenario, FPR, seed) points. Campaign submits such a
+// batch to the shared run engine: points execute concurrently on a
+// worker pool (GOMAXPROCS by default), results are cached by point, a
+// repeated or overlapping campaign never re-simulates a point the
+// process already ran, and the first failure cancels the still-queued
+// remainder. Pass nil to use the process-wide engine, or NewEngine for
+// a private pool:
+//
+//	var points []zhuyi.CampaignPoint
+//	for _, name := range zhuyi.Scenarios() {
+//		for seed := int64(1); seed <= 10; seed++ {
+//			points = append(points, zhuyi.CampaignPoint{Scenario: name, FPR: 30, Seed: seed})
+//		}
+//	}
+//	res, err := zhuyi.Campaign(ctx, nil, points)
+//	if err != nil { ... }
+//	fmt.Println(res.Stats.Executed, res.Stats.CacheHits, res.Stats.Wall)
+//	for _, o := range res.Outcomes {
+//		fmt.Println(o.Point.Scenario, o.Point.Seed, o.Result.Collided())
+//	}
+//
+// FindMRF and the experiment generators run on the same engine, so a
+// library campaign, an MRF search, and a Table-1 sweep in one process
+// share their simulations.
 package zhuyi
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/predict"
@@ -116,6 +146,71 @@ func FindMRF(name string, fprs []float64, seeds int) (MRF, error) {
 // Sweep computes the Figure-8 sensitivity grid for a fixed tolerable
 // distance in meters.
 func Sweep(snMeters float64) *SweepResult { return experiments.Figure8(snMeters) }
+
+// Batched run-campaign re-exports. See internal/engine for the full
+// scheduler and cache documentation.
+type (
+	// Engine is the concurrent run engine: one scheduler and one result
+	// cache shared by every campaign submitted to it.
+	Engine = engine.Engine
+	// EngineOptions sizes the worker pool and the result cache.
+	EngineOptions = engine.Options
+	// CampaignStats summarizes a campaign: points executed, cache hits,
+	// failures, skipped points, wall time.
+	CampaignStats = engine.CampaignStats
+)
+
+// NewEngine builds a private run engine. Most callers can pass nil to
+// Campaign instead and share the process-wide engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// CampaignPoint names one seeded closed-loop run.
+type CampaignPoint struct {
+	Scenario string
+	FPR      float64
+	Seed     int64
+}
+
+// CampaignOutcome pairs a point with its run result.
+type CampaignOutcome struct {
+	Point  CampaignPoint
+	Result *RunResult
+	Cached bool // served from the engine's cache
+	Err    error
+}
+
+// CampaignResult is a completed campaign: outcomes in submission order
+// plus stats.
+type CampaignResult struct {
+	Outcomes []CampaignOutcome
+	Stats    CampaignStats
+}
+
+// Campaign executes a batch of seeded runs on eng (nil: the shared
+// process-wide engine). Points run concurrently up to the engine's
+// worker limit; points already simulated — by an earlier campaign, an
+// MRF search, or an experiment generator on the same engine — are
+// served from the cache. The first failing run cancels the still-queued
+// remainder, and the returned error joins every real failure.
+func Campaign(ctx context.Context, eng *Engine, points []CampaignPoint) (*CampaignResult, error) {
+	if eng == nil {
+		eng = engine.Default()
+	}
+	jobs := make([]engine.Job, len(points))
+	for i, pt := range points {
+		sc, ok := scenario.ByName(pt.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("zhuyi: unknown scenario %q (see Scenarios())", pt.Scenario)
+		}
+		jobs[i] = engine.Job{Scenario: sc, FPR: pt.FPR, Seed: pt.Seed}
+	}
+	batch, err := eng.RunBatch(ctx, jobs)
+	res := &CampaignResult{Outcomes: make([]CampaignOutcome, len(points)), Stats: batch.Stats}
+	for i, o := range batch.Outcomes {
+		res.Outcomes[i] = CampaignOutcome{Point: points[i], Result: o.Result, Cached: o.Cached, Err: o.Err}
+	}
+	return res, err
+}
 
 // The Zhuyi-based AV system (§3.2) re-exports.
 type (

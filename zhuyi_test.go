@@ -1,6 +1,7 @@
 package zhuyi
 
 import (
+	"context"
 	"testing"
 )
 
@@ -65,6 +66,49 @@ func TestSweepFacade(t *testing.T) {
 	}
 	if res.SN != 30 {
 		t.Errorf("SN = %v", res.SN)
+	}
+}
+
+func TestCampaignFacade(t *testing.T) {
+	var points []CampaignPoint
+	for seed := int64(1); seed <= 3; seed++ {
+		points = append(points, CampaignPoint{Scenario: ScenarioFrontRightActivity1, FPR: 10, Seed: seed})
+	}
+	eng := NewEngine(EngineOptions{Workers: 2})
+	res, err := Campaign(context.Background(), eng, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	if res.Stats.Executed != 3 || res.Stats.CacheHits != 0 {
+		t.Errorf("first campaign stats = %+v", res.Stats)
+	}
+	for _, o := range res.Outcomes {
+		if o.Err != nil || o.Result == nil || o.Result.Trace.Len() == 0 {
+			t.Fatalf("bad outcome: %+v", o)
+		}
+		if o.Result.Collided() {
+			t.Errorf("benign scenario collided at seed %d", o.Point.Seed)
+		}
+	}
+	// The repeated campaign is pure cache hits with identical results.
+	again, err := Campaign(context.Background(), eng, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheHits != 3 || again.Stats.Executed != 0 {
+		t.Errorf("repeat campaign stats = %+v", again.Stats)
+	}
+	for i := range points {
+		if again.Outcomes[i].Result != res.Outcomes[i].Result {
+			t.Errorf("outcome %d not served from cache", i)
+		}
+	}
+	// Unknown scenarios are rejected before submission.
+	if _, err := Campaign(context.Background(), eng, []CampaignPoint{{Scenario: "bogus", FPR: 1, Seed: 1}}); err == nil {
+		t.Error("bogus campaign accepted")
 	}
 }
 
