@@ -6,10 +6,13 @@
 //	experiments -exp fig7                post-deployment online estimates
 //	experiments -exp fig8                velocity sensitivity grids (sn = 30, 100)
 //	experiments -exp headline            closed-loop Zhuyi controller vs 30-FPR baseline
+//	experiments -exp corpus -corpus 50   MRF distribution over a generated scenario corpus
 //	experiments -exp all                 everything
 //
 // Table 1 with the full protocol (-seeds 10) takes a few minutes; use
-// -seeds 3 for a quick pass.
+// -seeds 3 for a quick pass. The corpus sweep generates -corpus
+// scenarios from seed -corpusseed and can additionally include
+// registered scenarios via -tags (e.g. -tags table1 or -tags variant).
 package main
 
 import (
@@ -28,10 +31,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,all")
-		seeds   = flag.Int("seeds", 10, "seeded runs per configuration (Table 1)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		csvDir  = flag.String("csv", "", "also write CSV artifacts into this directory")
+		exp        = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,corpus,all")
+		seeds      = flag.Int("seeds", 10, "seeded runs per configuration (Table 1, corpus)")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		csvDir     = flag.String("csv", "", "also write CSV artifacts into this directory")
+		corpusN    = flag.Int("corpus", 20, "corpus sweep: number of generated scenarios")
+		corpusSeed = flag.Int64("corpusseed", 1, "corpus sweep: generator seed")
+		tags       = flag.String("tags", "", "corpus sweep: also include registered scenarios with these comma-separated tags")
 	)
 	flag.Parse()
 
@@ -157,6 +163,27 @@ func main() {
 		experiments.WriteBaselineComparison(os.Stdout, rows, 12, *seeds)
 		fmt.Println()
 		experiments.WriteRSSComparison(os.Stdout, experiments.RSSComparison())
+		return nil
+	})
+	run("corpus", func() error {
+		var fams []string
+		if *tags != "" {
+			for _, t := range strings.Split(*tags, ",") {
+				fams = append(fams, strings.TrimSpace(t))
+			}
+		}
+		res, err := experiments.CorpusSweep(context.Background(), experiments.CorpusOptions{
+			N:       *corpusN,
+			GenSeed: *corpusSeed,
+			Tags:    fams,
+			Seeds:   *seeds,
+			Engine:  eng,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.WriteCorpus(os.Stdout, res)
+		writeCSV("corpus.csv", func(w io.Writer) error { return experiments.CorpusCSV(w, res) })
 		return nil
 	})
 	run("ablations", func() error {

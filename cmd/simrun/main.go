@@ -20,16 +20,16 @@ import (
 
 func main() {
 	var (
-		name = flag.String("scenario", scenario.CutOut, "scenario name; one of: "+strings.Join(scenario.Names(), ", "))
+		name = flag.String("scenario", scenario.CutOut, "scenario name; any registered scenario, e.g.: "+strings.Join(scenario.Names(), ", "))
 		fpr  = flag.Float64("fpr", 30, "uniform per-camera frame processing rate")
 		seed = flag.Int64("seed", 1, "noise/jitter seed")
 		out  = flag.String("o", "", "output trace path (default stdout)")
 	)
 	flag.Parse()
 
-	sc, ok := scenario.ByName(*name)
+	sc, ok := scenario.Lookup(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "simrun: unknown scenario %q\navailable: %s\n", *name, strings.Join(scenario.Names(), ", "))
+		fmt.Fprintf(os.Stderr, "simrun: unknown scenario %q\navailable: %s\n", *name, strings.Join(scenario.Default().Names(), ", "))
 		os.Exit(2)
 	}
 	res, err := metrics.RunScenario(sc, *fpr, *seed)

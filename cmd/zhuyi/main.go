@@ -5,9 +5,14 @@
 //	zhuyi demand -actors 2 -trajectories 1   the model's own compute demand (§4.2)
 //	zhuyi mrf -scenario cut-out -seeds 10    minimum required FPR search
 //	zhuyi rate -scenario cut-out -fpr 5      collision rate at a fixed rate
+//	zhuyi scenarios list -tags table1        registered scenario catalog
+//	zhuyi scenarios describe -scenario X     one scenario's spec and compiled geometry
+//	zhuyi scenarios generate -n 50 -seed 1   procedural scenario corpus (validated)
 //
 // The run-campaign subcommands (mrf, rate) take -workers to size the
-// engine's simulation pool (default: GOMAXPROCS).
+// engine's simulation pool (default: GOMAXPROCS). Scenario names
+// resolve through the registry, so mrf/rate also accept ODD variants
+// (e.g. truck-cut-out) beyond the paper's nine.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -22,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/sensor"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -42,6 +49,8 @@ func main() {
 		err = cmdMRF(os.Args[2:])
 	case "rate":
 		err = cmdRate(os.Args[2:])
+	case "scenarios":
+		err = cmdScenarios(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -53,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios> [flags]")
 }
 
 func cmdEstimate(args []string) error {
@@ -127,13 +136,13 @@ func cmdDemand(args []string) error {
 
 func cmdMRF(args []string) error {
 	fs := flag.NewFlagSet("mrf", flag.ExitOnError)
-	name := fs.String("scenario", scenario.CutOut, "scenario name")
+	name := fs.String("scenario", scenario.CutOut, "scenario name (see 'zhuyi scenarios list')")
 	seeds := fs.Int("seeds", 10, "seeded runs per rate")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	fs.Parse(args)
-	sc, ok := scenario.ByName(*name)
+	sc, ok := scenario.Lookup(*name)
 	if !ok {
-		return fmt.Errorf("unknown scenario %q", *name)
+		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
 	eng := engine.New(engine.Options{Workers: *workers})
 	m, err := metrics.FindMRFContext(context.Background(), eng, sc, metrics.DefaultFPRGrid(), *seeds)
@@ -154,14 +163,14 @@ func cmdMRF(args []string) error {
 
 func cmdRate(args []string) error {
 	fs := flag.NewFlagSet("rate", flag.ExitOnError)
-	name := fs.String("scenario", scenario.CutOut, "scenario name")
+	name := fs.String("scenario", scenario.CutOut, "scenario name (see 'zhuyi scenarios list')")
 	fpr := fs.Float64("fpr", 5, "uniform per-camera frame processing rate")
 	runs := fs.Int("runs", 10, "seeded runs")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	fs.Parse(args)
-	sc, ok := scenario.ByName(*name)
+	sc, ok := scenario.Lookup(*name)
 	if !ok {
-		return fmt.Errorf("unknown scenario %q", *name)
+		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
 	eng := engine.New(engine.Options{Workers: *workers})
 	rate, err := metrics.CollisionRateContext(context.Background(), eng, sc, *fpr, *runs)
@@ -171,4 +180,128 @@ func cmdRate(args []string) error {
 	fmt.Printf("%s @ %g FPR: collision rate %.2f (%d runs on %d workers)\n",
 		sc.Name, *fpr, rate, *runs, eng.Workers())
 	return nil
+}
+
+func cmdScenarios(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: zhuyi scenarios <list|describe|generate> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return cmdScenariosList(args[1:])
+	case "describe":
+		return cmdScenariosDescribe(args[1:])
+	case "generate":
+		return cmdScenariosGenerate(args[1:])
+	default:
+		return fmt.Errorf("unknown scenarios subcommand %q (list, describe, generate)", args[0])
+	}
+}
+
+func cmdScenariosList(args []string) error {
+	fs := flag.NewFlagSet("scenarios list", flag.ExitOnError)
+	tags := fs.String("tags", "", "comma-separated tags to filter by (e.g. table1, variant)")
+	fs.Parse(args)
+	entries := scenario.Default().Entries(splitList(*tags)...)
+	if len(entries) == 0 {
+		return fmt.Errorf("no scenarios match tags %q", *tags)
+	}
+	fmt.Printf("%-28s %5s %-18s %s\n", "Name", "mph", "Tags", "Description")
+	for _, e := range entries {
+		fmt.Printf("%-28s %5.1f %-18s %s\n",
+			e.Scenario.Name, e.Scenario.EgoSpeedMPH, strings.Join(e.Tags, ","), e.Scenario.Description)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag value, trimming whitespace.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(item))
+	}
+	return out
+}
+
+func cmdScenariosDescribe(args []string) error {
+	fs := flag.NewFlagSet("scenarios describe", flag.ExitOnError)
+	name := fs.String("scenario", scenario.CutOut, "scenario name")
+	fpr := fs.Float64("fpr", 30, "rate for the compiled-geometry preview")
+	seed := fs.Int64("seed", 1, "jitter seed for the compiled-geometry preview")
+	fs.Parse(args)
+	sc, ok := scenario.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
+	}
+	e, _ := scenario.Default().Get(sc.Name)
+	fmt.Printf("%s — %s\n", sc.Name, sc.Description)
+	fmt.Printf("  ego: %g mph, activity front=%v right=%v left=%v, tags: %s\n",
+		sc.EgoSpeedMPH, sc.FrontActivity, sc.RightActivity, sc.LeftActivity, strings.Join(e.Tags, ","))
+	if e.Spec != nil {
+		sp := *e.Spec
+		road := fmt.Sprintf("straight, %.0f m", sp.Road.Length)
+		if sp.Road.Curved {
+			road = fmt.Sprintf("curved, lead-in %.0f m, radius %.0f m, arc %.0f m",
+				sp.Road.LeadIn, sp.Road.Radius, sp.Road.ArcLen)
+		}
+		fmt.Printf("  spec: %d-lane road (%s), ego lane %d, %.0f s, %d actors\n",
+			sp.Road.Lanes, road, sp.EgoLane, sp.Duration, len(sp.Actors))
+	}
+	cfg := sc.Build(*fpr, *seed)
+	fmt.Printf("  compiled at fpr %g seed %d:\n", *fpr, *seed)
+	for _, a := range cfg.Actors {
+		stages := 0
+		if a.Script != nil {
+			stages = len(a.Script.Stages)
+		}
+		fmt.Printf("    %-14s s=%7.2f m  d=%6.2f m  v=%5.2f m/s  stages=%d\n",
+			a.ID, a.Init.S, a.Init.D, a.Init.Speed, stages)
+	}
+	return nil
+}
+
+func cmdScenariosGenerate(args []string) error {
+	fs := flag.NewFlagSet("scenarios generate", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of scenarios to generate")
+	seed := fs.Int64("seed", 1, "generator seed (same seed reproduces the corpus)")
+	families := fs.String("families", "", "comma-separated families (default: all of "+familyList()+")")
+	checkSeeds := fs.Int64("check-seeds", 3, "jitter seeds to compile-check each spec with")
+	fs.Parse(args)
+
+	var fams []scenario.Family
+	for _, f := range splitList(*families) {
+		fams = append(fams, scenario.Family(f))
+	}
+	specs := scenario.NewGenerator(scenario.GenOptions{Seed: *seed, Families: fams}).Generate(*n)
+
+	names := make(map[string]bool, len(specs))
+	fmt.Printf("%-24s %5s %s\n", "Name", "mph", "Description")
+	for _, sp := range specs {
+		if names[sp.Name] {
+			return fmt.Errorf("generator produced duplicate name %q", sp.Name)
+		}
+		names[sp.Name] = true
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("generated spec invalid: %w", err)
+		}
+		for s := int64(1); s <= *checkSeeds; s++ {
+			if err := sim.ValidateConfig(sp.Compile(30, s)); err != nil {
+				return fmt.Errorf("%s seed %d: compiled config invalid: %w", sp.Name, s, err)
+			}
+		}
+		fmt.Printf("%-24s %5.0f %s\n", sp.Name, sp.EgoSpeedMPH, sp.Description)
+	}
+	fmt.Printf("# %d distinct valid scenarios (generator seed %d)\n", len(names), *seed)
+	return nil
+}
+
+func familyList() string {
+	var out []string
+	for _, f := range scenario.Families() {
+		out = append(out, string(f))
+	}
+	return strings.Join(out, ",")
 }

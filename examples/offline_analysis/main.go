@@ -16,7 +16,14 @@ import (
 )
 
 func main() {
-	sc, _ := scenario.ByName(scenario.CutOutFast)
+	// Scenarios resolve through the registry: the paper's nine, the ODD
+	// variants, and any registered generated spec are all addressable
+	// here by name.
+	sc, ok := scenario.Lookup(scenario.CutOutFast)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "scenario not registered:", scenario.CutOutFast)
+		os.Exit(1)
+	}
 	res, err := metrics.RunScenario(sc, 30, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,7 +17,13 @@ import (
 )
 
 func main() {
-	sc, _ := scenario.ByName(scenario.ChallengingCutIn)
+	// Resolve the scenario through the registry (covers the paper's
+	// nine, ODD variants, and registered generated specs alike).
+	sc, ok := scenario.Lookup(scenario.ChallengingCutIn)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "scenario not registered:", scenario.ChallengingCutIn)
+		os.Exit(1)
+	}
 
 	// Baseline: every camera at the provisioned 30 FPR.
 	base, err := sim.Run(sc.Build(30, 1))

@@ -1,0 +1,17 @@
+package zhuyi
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program. The examples are
+// main packages, so the library's own build does not cover them; this
+// keeps them from rotting as the facade and registry evolve.
+func TestExamplesBuild(t *testing.T) {
+	cmd := exec.Command("go", "build", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// CorpusOptions scales a corpus sweep: the MRF distribution over N
+// procedurally generated scenarios (plus, optionally, registered
+// scenarios selected by tags), the scenario-diversity axis the paper's
+// nine hand-built scenarios cannot cover.
+type CorpusOptions struct {
+	// N is the number of scenarios to generate (default 20).
+	N int
+	// GenSeed drives the generator; the same seed reproduces the corpus.
+	GenSeed int64
+	// Families restricts generation; empty means every family.
+	Families []scenario.Family
+	// Tags additionally sweeps the default-registry scenarios carrying
+	// all of these tags (e.g. "table1", "variant"). Empty adds none.
+	Tags []string
+	// Seeds is the number of runs per (scenario, rate) point (default 3;
+	// paper protocol: 10).
+	Seeds int
+	// FPRGrid is the tested rate grid (default: the Table-1 grid).
+	FPRGrid []float64
+	// Engine schedules and caches every run; nil uses the shared
+	// default engine.
+	Engine *engine.Engine
+}
+
+func (o CorpusOptions) withDefaults() CorpusOptions {
+	if o.N <= 0 {
+		o.N = 20
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if len(o.FPRGrid) == 0 {
+		o.FPRGrid = metrics.DefaultFPRGrid()
+	}
+	if o.Engine == nil {
+		o.Engine = engine.Default()
+	}
+	return o
+}
+
+// CorpusRow is one scenario's minimum-required-FPR measurement.
+type CorpusRow struct {
+	Name        string
+	Family      string // generator family, or "registered"
+	EgoSpeedMPH float64
+	MRF         metrics.MRF
+}
+
+// CorpusResult is a completed corpus sweep: per-scenario rows plus the
+// MRF distribution (Table-1 label → scenario count).
+type CorpusResult struct {
+	Rows []CorpusRow
+	Dist map[string]int
+	// Runs counts the engine points the sweep scheduled, cache hits
+	// included.
+	Runs int
+}
+
+// CorpusSweep generates a scenario corpus and measures every member's
+// minimum required FPR concurrently on the engine. Generated specs are
+// compiled on the fly (they do not touch the default registry), so
+// sweeps of arbitrary size stay side-effect free; register specs
+// explicitly to make a corpus addressable by name afterwards.
+func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) {
+	opt = opt.withDefaults()
+
+	type member struct {
+		sc     scenario.Scenario
+		family string
+	}
+	var members []member
+	if len(opt.Tags) > 0 {
+		for _, sc := range scenario.Default().List(opt.Tags...) {
+			members = append(members, member{sc: sc, family: "registered"})
+		}
+	}
+	// The engine cache keys on scenario names alone, and sweep members
+	// are deliberately not registered (sweeps stay side-effect free), so
+	// nothing else guards against two sweeps reusing a name. Fold the
+	// generator identity into the name prefix: corpora from different
+	// seeds or family sets can never alias each other's cached runs on a
+	// shared engine.
+	gen := scenario.NewGenerator(scenario.GenOptions{
+		Seed:     opt.GenSeed,
+		Families: opt.Families,
+		Prefix:   corpusPrefix(opt.GenSeed, opt.Families),
+	})
+	for _, sp := range gen.Generate(opt.N) {
+		fam := string(scenario.FamilyCutIn)
+		for _, f := range scenario.Families() {
+			if sp.HasTag(string(f)) {
+				fam = string(f)
+				break
+			}
+		}
+		members = append(members, member{sc: sp.Scenario(), family: fam})
+	}
+
+	res := &CorpusResult{Rows: make([]CorpusRow, len(members)), Dist: make(map[string]int)}
+	err := forEachIndex(len(members), func(i int) error {
+		m := members[i]
+		mrf, err := metrics.FindMRFContext(ctx, opt.Engine, m.sc, opt.FPRGrid, opt.Seeds)
+		res.Rows[i] = CorpusRow{
+			Name:        m.sc.Name,
+			Family:      m.family,
+			EgoSpeedMPH: m.sc.EgoSpeedMPH,
+			MRF:         mrf,
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Rows {
+		res.Dist[row.MRF.String()]++
+		res.Runs += row.MRF.Runs
+	}
+	return res, nil
+}
+
+// corpusPrefix names a sweep's corpus by its literal generator
+// identity, so distinct (seed, family-set) pairs can never collide.
+func corpusPrefix(seed int64, families []scenario.Family) string {
+	prefix := fmt.Sprintf("gen-s%d", seed)
+	for _, f := range families {
+		prefix += "-" + string(f)
+	}
+	return prefix
+}
+
+// distLabels orders distribution labels by the rate they encode ("<1"
+// first, "+Inf" last).
+func distLabels(dist map[string]int) []string {
+	labels := make([]string, 0, len(dist))
+	for l := range dist {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, k int) bool {
+		rank := func(l string) float64 {
+			switch l {
+			case "<1":
+				return -1
+			case "+Inf":
+				return 1e18
+			default:
+				var v float64
+				fmt.Sscanf(l, "%g", &v)
+				return v
+			}
+		}
+		return rank(labels[i]) < rank(labels[k])
+	})
+	return labels
+}
+
+// WriteCorpus renders the sweep: per-scenario rows then the MRF
+// distribution.
+func WriteCorpus(w io.Writer, res *CorpusResult) {
+	fmt.Fprintf(w, "%-28s %-12s %6s %6s\n", "Scenario", "Family", "mph", "MRF")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-28s %-12s %6.0f %6s\n", row.Name, row.Family, row.EgoSpeedMPH, row.MRF.String())
+	}
+	fmt.Fprintf(w, "# MRF distribution over %d scenarios (%d engine points):", len(res.Rows), res.Runs)
+	for _, l := range distLabels(res.Dist) {
+		fmt.Fprintf(w, " %s×%d", l, res.Dist[l])
+	}
+	fmt.Fprintln(w)
+}
+
+// CorpusCSV writes the rows as CSV.
+func CorpusCSV(w io.Writer, res *CorpusResult) error {
+	if _, err := fmt.Fprintln(w, "scenario,family,ego_mph,mrf"); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%s\n", row.Name, row.Family, row.EgoSpeedMPH, row.MRF.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

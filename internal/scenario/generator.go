@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/road"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// Family names a procedural spec family the generator can sample.
+type Family string
+
+// The spec families: the maneuver archetypes of the paper's Table 1
+// (cut-in, cut-out, following, benign activity) plus crossing agents,
+// each sampled at varied gaps, speeds, braking levels, and curvatures.
+const (
+	FamilyCutIn     Family = "cut-in"
+	FamilyCutOut    Family = "cut-out"
+	FamilyFollowing Family = "following"
+	FamilyCrossing  Family = "crossing"
+	FamilyActivity  Family = "activity"
+)
+
+// Families lists every spec family in sampling order.
+func Families() []Family {
+	return []Family{FamilyCutIn, FamilyCutOut, FamilyFollowing, FamilyCrossing, FamilyActivity}
+}
+
+// GenOptions configures a Generator.
+type GenOptions struct {
+	// Seed drives all sampling; the same seed yields the same specs.
+	Seed int64
+	// Families restricts sampling; empty means all families.
+	Families []Family
+	// Prefix namespaces generated names ("gen" by default). Names have
+	// the form <prefix>/<family>-<index> and are unique per generator.
+	Prefix string
+}
+
+// Generator deterministically samples scenario specs family by family
+// (round-robin). Every produced spec is valid (Spec.Validate passes and
+// the compiled configuration clears sim.ValidateConfig for any seed)
+// and uniquely named, so whole corpora can be registered and swept
+// through the cached run engine.
+type Generator struct {
+	rng      *rand.Rand
+	families []Family
+	prefix   string
+	n        int
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(opt GenOptions) *Generator {
+	fams := opt.Families
+	if len(fams) == 0 {
+		fams = Families()
+	}
+	prefix := opt.Prefix
+	if prefix == "" {
+		prefix = "gen"
+	}
+	return &Generator{
+		rng:      rand.New(rand.NewSource(opt.Seed ^ 0x5eedc0de)),
+		families: fams,
+		prefix:   prefix,
+	}
+}
+
+// Generate samples the next n specs.
+func (g *Generator) Generate(n int) []Spec {
+	out := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Next samples one spec from the next family in round-robin order.
+func (g *Generator) Next() Spec {
+	family := g.families[g.n%len(g.families)]
+	g.n++
+	name := fmt.Sprintf("%s/%s-%04d", g.prefix, family, g.n)
+	var sp Spec
+	switch family {
+	case FamilyCutOut:
+		sp = g.cutOut()
+	case FamilyFollowing:
+		sp = g.following()
+	case FamilyCrossing:
+		sp = g.crossing()
+	case FamilyActivity:
+		sp = g.activity()
+	default:
+		sp = g.cutIn()
+	}
+	sp.Name = name
+	sp.Tags = []string{TagGenerated, string(family)}
+	return sp
+}
+
+// uni samples uniformly from [lo, hi].
+func (g *Generator) uni(lo, hi float64) float64 { return lo + (hi-lo)*g.rng.Float64() }
+
+// chance flips a biased coin.
+func (g *Generator) chance(p float64) bool { return g.rng.Float64() < p }
+
+// road samples the scenario road: mostly straight, sometimes the
+// curved ODD. Length always generously covers the distance the ego can
+// travel in the scenario.
+func (g *Generator) road(mph, duration float64, allowCurve bool) RoadDef {
+	if allowCurve && g.chance(0.2) {
+		return RoadDef{
+			Lanes:  3,
+			Curved: true,
+			LeadIn: g.uni(40, 90),
+			Radius: g.uni(220, 520),
+			ArcLen: 2500,
+		}
+	}
+	length := math.Max(1500, units.MPHToMPS(mph)*duration*1.6+300)
+	return RoadDef{Lanes: 3, Length: length}
+}
+
+// cutIn: an actor from an adjacent lane merges ahead of the ego at a
+// lower speed, then brakes; optionally a blocker rules out evasion.
+func (g *Generator) cutIn() Spec {
+	mph := g.uni(40, 75)
+	rd := g.road(mph, 30, true)
+	if rd.Curved {
+		mph = g.uni(35, 50) // curved ODD runs slower, like the paper's
+	}
+	fromLane, blockerLane := 0, 2
+	if g.chance(0.5) {
+		fromLane, blockerLane = 2, 0
+	}
+	ahead := g.uni(35, 70)
+	factor := g.uni(0.75, 0.92)
+	mergeAt := g.uni(1.5, 4)
+	mergeDur := g.uni(1.8, 3.2)
+	brakeTo := g.uni(0.35, 0.7)
+	decel := g.uni(2, 5)
+
+	sp := Spec{
+		Description: fmt.Sprintf("Generated cut-in from lane %d at %.0f mph: merge ahead at %.0f m, brake to %.0f%% at %.1f m/s²",
+			fromLane, mph, ahead, brakeTo*100, decel),
+		EgoSpeedMPH: mph,
+		Front:       true, Right: fromLane == 0, Left: fromLane == 2,
+		Road:     rd,
+		EgoLane:  1,
+		Duration: 30,
+		Actors: []ActorDef{{
+			ID: "cutter", Lane: fromLane, S: J(ahead, 0.08), Speed: J(factor, 0.04),
+			Stages: []StageDef{
+				{
+					When: TriggerDef{Kind: TrigAtTime, Arg: J(mergeAt, 0.2)},
+					Do:   ActionDef{Kind: ActLaneChange, TargetLane: 1, Duration: J(mergeDur, 0.1)},
+				},
+				{
+					When: TriggerDef{Kind: TrigAtTime, Arg: C(mergeAt + mergeDur + 4)},
+					Do:   ActionDef{Kind: ActBrakeTo, Target: C(brakeTo), Rate: J(decel, 0.1)},
+				},
+			},
+		}},
+	}
+	if g.chance(0.5) {
+		sp.Right = sp.Right || blockerLane == 0
+		sp.Left = sp.Left || blockerLane == 2
+		sp.Actors = append(sp.Actors, ActorDef{
+			ID: "blocker", Lane: blockerLane, S: J(-8, 0.2), Speed: C(1),
+			Stages: []StageDef{{
+				When: TriggerDef{Kind: TrigImmediately},
+				Do:   ActionDef{Kind: ActMatchBeside, Offset: J(-8, 0.2), MaxAccel: 2.5, MaxBrake: 6},
+			}},
+		})
+	}
+	return sp
+}
+
+// cutOut: the lead swerves out of the ego's lane, revealing a static
+// obstacle at a sampled headway; blockers optionally pace the ego in
+// the adjacent lanes.
+func (g *Generator) cutOut() Spec {
+	mph := g.uni(18, 42)
+	v := units.MPHToMPS(mph)
+	carLen := vehicle.Car().Length
+	leadGap := g.uni(12, 28)
+	reveal := g.uni(11, 20)
+	swerve := g.uni(1.4, 2.2)
+	// The obstacle sits a sampled time-headway ahead, but always far
+	// enough past the lead's spawn that the reveal trigger can fire.
+	obstacle := math.Max(g.uni(3.2, 5.2)*v, leadGap+carLen+reveal*(1+0.08)+8)
+	outLane := 2
+	if g.chance(0.5) {
+		outLane = 0
+	}
+
+	sp := Spec{
+		Description: fmt.Sprintf("Generated cut-out at %.0f mph: lead at %.0f m swerves to lane %d revealing an obstacle at %.0f m",
+			mph, leadGap, outLane, obstacle),
+		EgoSpeedMPH: mph,
+		Front:       true,
+		Road:        g.road(mph, 25, false),
+		EgoLane:     1,
+		Duration:    25,
+		Actors: []ActorDef{
+			{
+				ID: "lead", Lane: 1, S: C(leadGap + carLen), Speed: C(1),
+				Stages: []StageDef{{
+					When: TriggerDef{Kind: TrigAtStation, Arg: JPlus(obstacle, -reveal, 0.08)},
+					Do:   ActionDef{Kind: ActLaneChange, TargetLane: outLane, Duration: J(swerve, 0.1)},
+				}},
+			},
+			{ID: "obstacle", Kind: KindObstacle, Lane: 1, S: C(obstacle)},
+		},
+	}
+	for _, side := range []struct {
+		lane int
+		id   string
+	}{{2, "left-blocker"}, {0, "right-blocker"}} {
+		if side.lane != outLane && g.chance(0.7) {
+			sp.Right = sp.Right || side.lane == 0
+			sp.Left = sp.Left || side.lane == 2
+			off := g.uni(-9, -3)
+			sp.Actors = append(sp.Actors, ActorDef{
+				ID: side.id, Lane: side.lane, S: J(off, 0.3), Speed: C(1),
+				Stages: []StageDef{{
+					When: TriggerDef{Kind: TrigImmediately},
+					Do:   ActionDef{Kind: ActMatchBeside, Offset: J(off, 0.3), MaxAccel: 2.5, MaxBrake: 6},
+				}},
+			})
+		}
+	}
+	return sp
+}
+
+// following: highway following; the lead brakes hard to a sampled
+// end speed after a sampled delay.
+func (g *Generator) following() Spec {
+	mph := g.uni(45, 75)
+	gap := g.uni(30, 70)
+	brakeAt := g.uni(3, 8)
+	target := g.uni(0, 0.25)
+	decel := g.uni(3.5, 6.5)
+	lead := vehicle.Car().Length
+	kind := KindCar
+	if g.chance(0.25) {
+		kind = KindTruck
+		lead = vehicle.Truck().Length
+		decel = math.Min(decel, vehicle.Truck().MaxBrake)
+	}
+	return Spec{
+		Description: fmt.Sprintf("Generated following at %.0f mph: lead at %.0f m brakes to %.0f%% at %.1f m/s² after %.1f s",
+			mph, gap, target*100, decel, brakeAt),
+		EgoSpeedMPH: mph,
+		Front:       true,
+		Road:        g.road(mph, 30, false),
+		EgoLane:     1,
+		Duration:    30,
+		Actors: []ActorDef{{
+			ID: "lead", Kind: kind, Lane: 1, S: C(gap + lead), Speed: C(1),
+			Stages: []StageDef{{
+				When: TriggerDef{Kind: TrigAtTime, Arg: J(brakeAt, 0.15)},
+				Do:   ActionDef{Kind: ActBrakeTo, Target: C(target), Rate: J(decel, 0.06)},
+			}},
+		}},
+	}
+}
+
+// crossing: a pedestrian-like agent traverses the road laterally ahead
+// of the ego at urban speed, optionally shadowed by a parked car.
+func (g *Generator) crossing() Spec {
+	mph := g.uni(18, 32)
+	crosserS := g.uni(40, 75)
+	trigger := g.uni(35, 60)
+	latVel := g.uni(1.2, 2.4)
+	lanes := 3
+	// Long enough to cross all lanes plus the shoulder it starts on.
+	driftDur := (float64(lanes)*road.DefaultLaneWidth + 4) / latVel
+
+	sp := Spec{
+		Description: fmt.Sprintf("Generated crossing at %.0f mph: agent at %.0f m crosses at %.1f m/s when the ego is within %.0f m",
+			mph, crosserS, latVel, trigger),
+		EgoSpeedMPH: mph,
+		Front:       true, Right: true,
+		Road:     g.road(mph, 20, false),
+		EgoLane:  1,
+		Duration: 20,
+		Actors: []ActorDef{{
+			ID:     "crosser",
+			Kind:   KindCustom,
+			Custom: vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3},
+			Lane:   0, DOffset: -3.0,
+			S: J(crosserS, 0.1), Speed: C(0.5), SpeedAbsolute: true,
+			Stages: []StageDef{{
+				When: TriggerDef{Kind: TrigEgoWithin, Arg: J(trigger, 0.1)},
+				Do:   ActionDef{Kind: ActDrift, LatVel: J(latVel, 0.1), Duration: C(driftDur)},
+			}},
+		}},
+	}
+	if g.chance(0.5) {
+		sp.Actors = append(sp.Actors, ActorDef{
+			ID: "parked", Lane: 0, DOffset: -2.6, S: C(g.uni(25, crosserS-12)),
+		})
+	}
+	return sp
+}
+
+// activity: benign lane changes and pacing confined to the two lanes
+// the ego does not occupy — visible activity, no corridor conflicts.
+func (g *Generator) activity() Spec {
+	mph := g.uni(35, 60)
+	egoLane := 0
+	nearLane, farLane := 1, 2
+	if g.chance(0.5) {
+		egoLane, nearLane, farLane = 2, 1, 0
+	}
+	sp := Spec{
+		Description: fmt.Sprintf("Generated benign activity at %.0f mph: lane changes and pacing beside the ego (ego lane %d)",
+			mph, egoLane),
+		EgoSpeedMPH: mph,
+		Front:       true, Right: egoLane == 2, Left: egoLane == 0,
+		Road:     g.road(mph, 25, false),
+		EgoLane:  egoLane,
+		Duration: 25,
+	}
+	n := 1 + g.rng.Intn(3)
+	// Well-separated stations: ahead, behind, further ahead.
+	stations := []float64{g.uni(25, 45), g.uni(-45, -25), g.uni(60, 85)}
+	for i := 0; i < n; i++ {
+		a := ActorDef{
+			ID:    fmt.Sprintf("actor-%d", i+1),
+			Lane:  []int{farLane, nearLane, nearLane}[i],
+			S:     J(stations[i], 0.1),
+			Speed: C(g.uni(0.92, 1.05)),
+		}
+		switch g.rng.Intn(3) {
+		case 0: // merge between the two non-ego lanes
+			target := nearLane
+			if a.Lane == nearLane {
+				target = farLane
+			}
+			a.Stages = []StageDef{{
+				When: TriggerDef{Kind: TrigAtTime, Arg: J(g.uni(2, 5), 0.2)},
+				Do:   ActionDef{Kind: ActLaneChange, TargetLane: target, Duration: J(2.5, 0.1)},
+			}}
+		case 1: // pace the ego
+			a.Speed = C(1)
+			a.Stages = []StageDef{{
+				When: TriggerDef{Kind: TrigImmediately},
+				Do:   ActionDef{Kind: ActMatchBeside, Offset: J(stations[i], 0.1), MaxAccel: 2.5, MaxBrake: 6},
+			}}
+		default: // cruise at the sampled speed
+		}
+		sp.Actors = append(sp.Actors, a)
+	}
+	return sp
+}

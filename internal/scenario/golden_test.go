@@ -1,0 +1,96 @@
+package scenario
+
+// Golden regression tests pinning the Spec/Registry refactor to the
+// original hand-written builders (frozen in legacy_test.go): for every
+// spec-registered scenario, the compiled sim.Config must be
+// byte-for-byte equivalent — identical static fields, identical actor
+// geometry, and, because behavior scripts hide closures, identical
+// closed-loop traces at every time-step across seeds and rates.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// scrubScripts strips the behavior scripts (whose closures defeat
+// reflect.DeepEqual) from a copy of the config, recording per-actor
+// stage counts instead.
+func scrubScripts(cfg sim.Config) (sim.Config, []int) {
+	stages := make([]int, len(cfg.Actors))
+	actors := make([]sim.ActorSpec, len(cfg.Actors))
+	copy(actors, cfg.Actors)
+	for i := range actors {
+		if actors[i].Script != nil {
+			stages[i] = len(actors[i].Script.Stages)
+			actors[i].Script = nil
+		} else {
+			stages[i] = -1
+		}
+	}
+	cfg.Actors = actors
+	return cfg, stages
+}
+
+// TestGoldenConfigsMatchLegacyBuilders compares every statically
+// comparable part of the compiled configs against the frozen builders.
+func TestGoldenConfigsMatchLegacyBuilders(t *testing.T) {
+	for name, build := range legacyBuilders() {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s: not registered", name)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			for _, fpr := range []float64{1, 7.5, 30} {
+				want, wantStages := scrubScripts(build(fpr, seed))
+				got, gotStages := scrubScripts(sc.Build(fpr, seed))
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s fpr %g seed %d: compiled config differs\n got %+v\nwant %+v", name, fpr, seed, got, want)
+				}
+				if !reflect.DeepEqual(wantStages, gotStages) {
+					t.Errorf("%s fpr %g seed %d: stage counts %v, want %v", name, fpr, seed, gotStages, wantStages)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenTracesMatchLegacyBuilders runs both configs through the
+// closed-loop simulator and demands identical traces row for row —
+// this pins the script closures (triggers, maneuver parameters) that
+// the structural comparison cannot see.
+func TestGoldenTracesMatchLegacyBuilders(t *testing.T) {
+	for name, build := range legacyBuilders() {
+		sc, _ := Lookup(name)
+		for _, pt := range []struct {
+			fpr  float64
+			seed int64
+		}{{30, 1}, {30, 7}, {3, 2}} {
+			want, err := sim.Run(build(pt.fpr, pt.seed))
+			if err != nil {
+				t.Fatalf("%s legacy run: %v", name, err)
+			}
+			got, err := sim.Run(sc.Build(pt.fpr, pt.seed))
+			if err != nil {
+				t.Fatalf("%s spec run: %v", name, err)
+			}
+			if want.Trace.Len() != got.Trace.Len() {
+				t.Errorf("%s fpr %g seed %d: trace length %d, want %d",
+					name, pt.fpr, pt.seed, got.Trace.Len(), want.Trace.Len())
+				continue
+			}
+			if !reflect.DeepEqual(want.Collision, got.Collision) {
+				t.Errorf("%s fpr %g seed %d: collision %+v, want %+v",
+					name, pt.fpr, pt.seed, got.Collision, want.Collision)
+			}
+			for i := range want.Trace.Rows {
+				if !reflect.DeepEqual(want.Trace.Rows[i], got.Trace.Rows[i]) {
+					t.Errorf("%s fpr %g seed %d: trace diverges at row %d (t=%.2f)",
+						name, pt.fpr, pt.seed, i, want.Trace.Rows[i].Time)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package scenario
+
+// This file freezes the original hand-written scenario builders exactly
+// as they shipped before the Spec/Registry refactor. They are the
+// golden reference: golden_test.go proves that the declarative specs in
+// table1.go and variants.go compile to byte-for-byte identical
+// simulator configurations (same jitter stream, same actor scripts,
+// hence identical traces). Do not "improve" these builders — any change
+// here would silently weaken the regression guarantee.
+
+import (
+	"repro/internal/behavior"
+	"repro/internal/road"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// buildCutOut implements the Cut-out and Cut-out fast scenarios: the ego
+// follows a lead in the center lane; adjacent lanes carry blockers
+// pacing the ego; the lead swerves left, revealing a static obstacle.
+func buildCutOut(fpr float64, seed int64, fast bool) sim.Config {
+	j := newJitterer(seed)
+	mph := 20.0
+	leadGap := 14.0    // initial bumper-ish gap to the lead, m
+	revealLead := 19.0 // lead's gap to the obstacle when it swerves, m
+	obstacleAhead := 52.0
+	swerve := 1.9 // lead lane-change duration, s
+	if fast {
+		mph = 40
+		leadGap = 27
+		revealLead = 13
+		obstacleAhead = 92
+		swerve = 1.5
+	}
+	v := units.MPHToMPS(mph)
+	r := road.NewStraight(3, 5000)
+	cfg := baseConfig(CutOut, fpr, seed, r, 1, v)
+	if fast {
+		cfg.Name = CutOutFast
+	}
+
+	leadS := leadGap + cfg.EgoParams.Length
+	obstacleS := obstacleAhead
+
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "lead",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: leadS, D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(
+				behavior.Stage{
+					When: behavior.AtStation(obstacleS - j.val(revealLead, 0.08)),
+					Do:   &behavior.LaneChange{TargetLane: 2, Duration: j.val(swerve, 0.1)},
+				},
+			),
+		},
+		{
+			ID:     "obstacle",
+			Params: vehicle.StaticObstacle(),
+			Init:   vehicle.FrenetState{S: obstacleS, D: r.LaneCenterOffset(1)},
+		},
+		{
+			ID:     "left-blocker",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-6, 0.3), D: r.LaneCenterOffset(2), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.MatchBeside{OffsetS: j.val(-6, 0.3), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+		{
+			ID:     "right-blocker",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(4, 0.5), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.MatchBeside{OffsetS: j.val(4, 0.5), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+// buildCutIn implements the (mild) Cut-in: an actor one lane over and
+// far ahead merges into the ego's lane at a lower speed.
+func buildCutIn(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(70)
+	r := road.NewStraight(3, 8000)
+	cfg := baseConfig(CutIn, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{{
+		ID:     "cutter",
+		Params: vehicle.Car(),
+		Init:   vehicle.FrenetState{S: j.val(58, 0.08), D: r.LaneCenterOffset(2), Speed: j.val(0.82, 0.05) * v},
+		Script: behavior.NewScript(
+			behavior.Stage{
+				When: behavior.AtTime(j.val(2.5, 0.2)),
+				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(3.0, 0.1)},
+			},
+			behavior.Stage{
+				When: behavior.AtTime(10),
+				Do:   &behavior.BrakeTo{Target: 0.62 * v, Decel: j.val(2.8, 0.1)},
+			},
+		),
+	}}
+	cfg.Duration = 30
+	return cfg
+}
+
+// buildChallengingCutIn implements the close cut-in: an actor pacing the
+// ego in the right lane accelerates, merges barely ahead, and brakes; a
+// blocker in the left lane rules out evasion. The curved variant places
+// the same choreography on a constant-radius left curve.
+func buildChallengingCutIn(fpr float64, seed int64, curved bool) sim.Config {
+	j := newJitterer(seed)
+	mph := 60.0
+	if curved {
+		mph = 40
+	}
+	v := units.MPHToMPS(mph)
+	var r *road.Road
+	if curved {
+		r = road.NewCurved(3, 60, 280, 2500)
+	} else {
+		r = road.NewStraight(3, 8000)
+	}
+	cfg := baseConfig(ChallengingCutIn, fpr, seed, r, 1, v)
+	brakeTarget := 0.28
+	if curved {
+		cfg.Name = ChallengingCutInCurved
+		// The lower curved-road speed is more forgiving; the cutter must
+		// brake deeper to stress the same perception-latency boundary.
+		brakeTarget = 0.18
+	}
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "cutter",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(3, 0.5), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(
+				behavior.Stage{
+					When: behavior.AtTime(j.val(2.0, 0.2)),
+					Do:   &behavior.AccelTo{Target: 1.12 * v, Accel: 2.5},
+				},
+				behavior.Stage{
+					When: behavior.WhenGapToEgoAbove(j.val(6, 0.1)),
+					Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(1.0, 0.1)},
+				},
+				behavior.Stage{
+					When: behavior.Immediately(),
+					Do:   &behavior.BrakeTo{Target: brakeTarget * v, Decel: j.val(8.2, 0.05)},
+				},
+			),
+		},
+		{
+			ID:     "left-blocker",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: -10, D: r.LaneCenterOffset(2), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.MatchBeside{OffsetS: j.val(-9, 0.2), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+	}
+	cfg.Duration = 30
+	return cfg
+}
+
+// buildVehicleFollowing implements highway following with a sudden full
+// stop by the lead.
+func buildVehicleFollowing(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(70)
+	r := road.NewStraight(3, 8000)
+	cfg := baseConfig(VehicleFollowing, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{{
+		ID:     "lead",
+		Params: vehicle.Car(),
+		Init:   vehicle.FrenetState{S: 50 + cfg.EgoParams.Length, D: r.LaneCenterOffset(1), Speed: v},
+		Script: behavior.NewScript(behavior.Stage{
+			When: behavior.AtTime(j.val(5, 0.2)),
+			Do:   &behavior.BrakeTo{Target: 0, Decel: j.val(5.0, 0.06)},
+		}),
+	}}
+	cfg.Duration = 30
+	return cfg
+}
+
+// buildFrontRight1: ego in the left lane; an actor from the rightmost
+// lane merges to the middle; a rear actor merges right. Nothing enters
+// the ego's corridor.
+func buildFrontRight1(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(40)
+	r := road.NewStraight(3, 6000)
+	cfg := baseConfig(FrontRightActivity1, fpr, seed, r, 2, v)
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "merger",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(30, 0.1), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(2, 0.2)),
+				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.5, 0.1)},
+			}),
+		},
+		{
+			ID:     "rear",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-28, 0.1), D: r.LaneCenterOffset(2), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(4, 0.2)),
+				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.5, 0.1)},
+			}),
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+// buildFrontRight2: ego in the middle lane; the front actor cuts out to
+// the rightmost lane and paces the ego; a rear actor follows the ego.
+func buildFrontRight2(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(40)
+	r := road.NewStraight(3, 6000)
+	cfg := baseConfig(FrontRightActivity2, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "pacer",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(32, 0.1), D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(
+				behavior.Stage{
+					When: behavior.AtTime(j.val(3, 0.2)),
+					Do:   &behavior.LaneChange{TargetLane: 0, Duration: j.val(2.5, 0.1)},
+				},
+				behavior.Stage{
+					When: behavior.Immediately(),
+					Do:   &behavior.MatchBeside{OffsetS: j.val(2, 0.5), MaxAccel: 2.5, MaxBrake: 6},
+				},
+			),
+		},
+		{
+			ID:     "follower",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-30, 0.1), D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.FollowEgo{Gap: j.val(26, 0.1), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+// buildFrontRight3: ego in the middle lane; an actor from the rightmost
+// lane cuts into the ego's lane well ahead.
+func buildFrontRight3(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(60)
+	r := road.NewStraight(3, 8000)
+	cfg := baseConfig(FrontRightActivity3, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{{
+		ID:     "cutter",
+		Params: vehicle.Car(),
+		Init:   vehicle.FrenetState{S: j.val(42, 0.08), D: r.LaneCenterOffset(0), Speed: 0.9 * v},
+		Script: behavior.NewScript(behavior.Stage{
+			When: behavior.WhenGapToEgoBelow(j.val(38, 0.08)),
+			Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.6, 0.1)},
+		}),
+	}}
+	cfg.Duration = 25
+	return cfg
+}
+
+// legacyBuilders maps every spec-registered scenario name to its frozen
+// original builder.
+func legacyBuilders() map[string]func(fpr float64, seed int64) sim.Config {
+	return map[string]func(fpr float64, seed int64) sim.Config{
+		CutOut:     func(fpr float64, seed int64) sim.Config { return buildCutOut(fpr, seed, false) },
+		CutOutFast: func(fpr float64, seed int64) sim.Config { return buildCutOut(fpr, seed, true) },
+		CutIn:      buildCutIn,
+		ChallengingCutIn: func(fpr float64, seed int64) sim.Config {
+			return buildChallengingCutIn(fpr, seed, false)
+		},
+		ChallengingCutInCurved: func(fpr float64, seed int64) sim.Config {
+			return buildChallengingCutIn(fpr, seed, true)
+		},
+		VehicleFollowing:    buildVehicleFollowing,
+		FrontRightActivity1: buildFrontRight1,
+		FrontRightActivity2: buildFrontRight2,
+		FrontRightActivity3: buildFrontRight3,
+		HighwayPlatoon:      buildHighwayPlatoon,
+		TruckCutOut:         buildTruckCutOut,
+		UrbanCrosser:        buildUrbanCrosser,
+		DenseTraffic:        buildDenseTraffic,
+	}
+}
+
+func buildHighwayPlatoon(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(65)
+	r := road.NewStraight(3, 8000)
+	cfg := baseConfig(HighwayPlatoon, fpr, seed, r, 1, v)
+	// Three platoon vehicles ahead at ~30 m spacing; the leader brakes
+	// hard at t≈6 and the followers react with small delays, producing
+	// the braking wave the ego must absorb last.
+	gaps := []float64{35, 68, 101}
+	for i, g := range gaps {
+		spec := sim.ActorSpec{
+			ID:     []string{"p1", "p2", "p3"}[i],
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: g, D: r.LaneCenterOffset(1), Speed: v},
+		}
+		switch i {
+		case 2: // platoon leader
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(6, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.3 * v, Decel: j.val(6.0, 0.08)},
+			})
+		case 1:
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(6.8, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.28 * v, Decel: j.val(6.5, 0.08)},
+			})
+		default:
+			spec.Script = behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(7.5, 0.15)),
+				Do:   &behavior.BrakeTo{Target: 0.26 * v, Decel: j.val(7.0, 0.08)},
+			})
+		}
+		cfg.Actors = append(cfg.Actors, spec)
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+func buildTruckCutOut(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(35)
+	r := road.NewStraight(3, 5000)
+	cfg := baseConfig(TruckCutOut, fpr, seed, r, 1, v)
+	truck := vehicle.Truck()
+	obstacleS := 90.0
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "truck",
+			Params: truck,
+			Init:   vehicle.FrenetState{S: 24 + truck.Length/2, D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtStation(obstacleS - j.val(20, 0.08)),
+				Do:   &behavior.LaneChange{TargetLane: 2, Duration: j.val(2.4, 0.1)},
+			}),
+		},
+		{
+			ID:     "obstacle",
+			Params: vehicle.StaticObstacle(),
+			Init:   vehicle.FrenetState{S: obstacleS, D: r.LaneCenterOffset(1)},
+		},
+		{
+			ID:     "right-blocker",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(3, 0.5), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.MatchBeside{OffsetS: j.val(3, 0.5), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}
+
+func buildUrbanCrosser(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(25)
+	r := road.NewStraight(3, 3000)
+	cfg := baseConfig(UrbanCrosser, fpr, seed, r, 1, v)
+	// The crosser starts on the right shoulder ahead of the ego and
+	// traverses the road laterally at walking-fast pace while drifting
+	// slowly forward.
+	crosser := vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3}
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "crosser",
+			Params: crosser,
+			Init:   vehicle.FrenetState{S: j.val(55, 0.1), D: r.LaneCenterOffset(0) - 3.0, Speed: 0.5},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.WhenEgoWithin(j.val(50, 0.1)),
+				Do:   &behavior.Drift{LatVel: j.val(1.8, 0.1), Duration: 7},
+			}),
+		},
+		{
+			ID:     "parked",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: 40, D: r.LaneCenterOffset(0) - 2.6},
+		},
+	}
+	cfg.Duration = 20
+	return cfg
+}
+
+func buildDenseTraffic(fpr float64, seed int64) sim.Config {
+	j := newJitterer(seed)
+	v := units.MPHToMPS(45)
+	r := road.NewStraight(3, 6000)
+	cfg := baseConfig(DenseTraffic, fpr, seed, r, 1, v)
+	cfg.Actors = []sim.ActorSpec{
+		{
+			ID:     "lead",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: 32, D: r.LaneCenterOffset(1), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.AtTime(j.val(5, 0.2)),
+				Do:   &behavior.BrakeTo{Target: 0.6 * v, Decel: j.val(3.5, 0.1)},
+			}),
+		},
+		{
+			ID:     "left-front",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(18, 0.2), D: r.LaneCenterOffset(2), Speed: v},
+		},
+		{
+			ID:     "left-rear",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-15, 0.2), D: r.LaneCenterOffset(2), Speed: 1.02 * v},
+		},
+		{
+			ID:     "right-front",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(22, 0.2), D: r.LaneCenterOffset(0), Speed: 0.97 * v},
+		},
+		{
+			ID:     "right-rear",
+			Params: vehicle.Car(),
+			Init:   vehicle.FrenetState{S: j.val(-20, 0.2), D: r.LaneCenterOffset(0), Speed: v},
+			Script: behavior.NewScript(behavior.Stage{
+				When: behavior.Immediately(),
+				Do:   &behavior.FollowEgo{Gap: j.val(22, 0.1), MaxAccel: 2.5, MaxBrake: 6},
+			}),
+		},
+		{
+			ID:     "far-lead",
+			Params: vehicle.Truck(),
+			Init:   vehicle.FrenetState{S: 95, D: r.LaneCenterOffset(1), Speed: 0.95 * v},
+		},
+	}
+	cfg.Duration = 25
+	return cfg
+}

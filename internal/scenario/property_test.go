@@ -1,0 +1,219 @@
+package scenario
+
+// Property-based tests over the whole scenario space — every registered
+// spec plus freshly generated corpora, across seeds: compiled
+// configurations are valid, deterministic per (name, fpr, seed), and
+// every jittered value stays inside its declared range. CI runs these
+// with -count=5 so generator nondeterminism regressions surface.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/world"
+)
+
+// propertySpecs is the corpus under test: the built-in catalogs plus a
+// generated batch covering every family.
+func propertySpecs(t *testing.T) []Spec {
+	t.Helper()
+	specs := append(Table1Specs(), VariantSpecs()...)
+	gen := NewGenerator(GenOptions{Seed: 42})
+	specs = append(specs, gen.Generate(15)...)
+	return specs
+}
+
+func TestPropertySpecsValidate(t *testing.T) {
+	for _, sp := range propertySpecs(t) {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestPropertyCompiledConfigsValid: for every spec and seed, the
+// compiled config passes the simulator's own validation, keeps speeds
+// non-negative and gaps/durations positive, and spawns every actor on
+// (or within a shoulder of) the 3-lane road without overlaps.
+func TestPropertyCompiledConfigsValid(t *testing.T) {
+	for _, sp := range propertySpecs(t) {
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg := sp.Compile(12, seed)
+			if err := sim.ValidateConfig(cfg); err != nil {
+				t.Fatalf("%s seed %d: %v", sp.Name, seed, err)
+			}
+			if cfg.Name != sp.Name || cfg.Seed != seed || cfg.FPR != 12 {
+				t.Fatalf("%s seed %d: identity not propagated: %+v", sp.Name, seed, cfg)
+			}
+			if cfg.EgoInit.Speed <= 0 || cfg.DesiredSpeed <= 0 || cfg.Duration <= 0 {
+				t.Fatalf("%s seed %d: non-positive ego speed/duration", sp.Name, seed)
+			}
+			if cfg.Road.NumLanes != 3 {
+				t.Fatalf("%s seed %d: %d lanes, want 3", sp.Name, seed, cfg.Road.NumLanes)
+			}
+			agents := []world.Agent{cfg.EgoInit.ToAgent(cfg.Road, world.EgoID, cfg.EgoParams)}
+			for _, a := range cfg.Actors {
+				if a.Init.Speed < 0 {
+					t.Fatalf("%s seed %d: actor %s negative speed %v", sp.Name, seed, a.ID, a.Init.Speed)
+				}
+				// On the paved lanes, or at most a shoulder (one lane
+				// width) off — where crossers and parked cars start.
+				if !cfg.Road.InBounds(a.Init.D, cfg.Road.LaneWidth) {
+					t.Fatalf("%s seed %d: actor %s off-road at d=%v", sp.Name, seed, a.ID, a.Init.D)
+				}
+				agents = append(agents, a.Init.ToAgent(cfg.Road, a.ID, a.Params))
+			}
+			for i := range agents {
+				for k := i + 1; k < len(agents); k++ {
+					if agents[i].BBox().Intersects(agents[k].BBox()) {
+						t.Fatalf("%s seed %d: %s overlaps %s at spawn",
+							sp.Name, seed, agents[i].ID, agents[k].ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCompileDeterministic: compiling the same (name, fpr,
+// seed) twice yields identical configurations and identical jitter
+// streams; a different seed moves at least one jittered value.
+func TestPropertyCompileDeterministic(t *testing.T) {
+	for _, sp := range propertySpecs(t) {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfgA, infoA := sp.CompileTraced(9, seed)
+			cfgB, infoB := sp.CompileTraced(9, seed)
+			if !reflect.DeepEqual(infoA, infoB) {
+				t.Fatalf("%s seed %d: jitter stream not deterministic", sp.Name, seed)
+			}
+			sa, stagesA := scrubScripts(cfgA)
+			sb, stagesB := scrubScripts(cfgB)
+			if !reflect.DeepEqual(sa, sb) || !reflect.DeepEqual(stagesA, stagesB) {
+				t.Fatalf("%s seed %d: compile not deterministic", sp.Name, seed)
+			}
+		}
+		_, info1 := sp.CompileTraced(9, 1)
+		_, info2 := sp.CompileTraced(9, 2)
+		jittered := false
+		for i, v := range info1.Values {
+			if v.Decl.Frac != 0 && v.Value != info2.Values[i].Value {
+				jittered = true
+				break
+			}
+		}
+		hasJitter := false
+		for _, v := range info1.Values {
+			if v.Decl.Frac != 0 {
+				hasJitter = true
+			}
+		}
+		if hasJitter && !jittered {
+			t.Errorf("%s: different seeds produced identical jitter", sp.Name)
+		}
+	}
+}
+
+// TestPropertyJitterWithinDeclaredRange: every evaluated value lies in
+// its Val's declared interval across many seeds.
+func TestPropertyJitterWithinDeclaredRange(t *testing.T) {
+	for _, sp := range propertySpecs(t) {
+		for seed := int64(1); seed <= 10; seed++ {
+			_, info := sp.CompileTraced(5, seed)
+			for _, v := range info.Values {
+				lo, hi := v.Decl.Bounds()
+				if v.Value < lo-1e-9 || v.Value > hi+1e-9 {
+					t.Fatalf("%s seed %d: %s = %v outside declared [%v, %v]",
+						sp.Name, seed, v.Where, v.Value, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyGeneratedCorpusDistinctAndDeterministic: a generated
+// corpus has unique names, registers cleanly into a fresh registry, and
+// regenerating with the same seed reproduces it exactly; a different
+// generator seed yields different parameters.
+func TestPropertyGeneratedCorpusDistinctAndDeterministic(t *testing.T) {
+	const n = 25
+	gen := NewGenerator(GenOptions{Seed: 7})
+	specs := gen.Generate(n)
+	if len(specs) != n {
+		t.Fatalf("generated %d specs, want %d", len(specs), n)
+	}
+	reg := NewRegistry()
+	for _, sp := range specs {
+		if err := reg.RegisterSpec(sp); err != nil {
+			t.Fatalf("register %s: %v", sp.Name, err)
+		}
+		if !sp.HasTag(TagGenerated) {
+			t.Errorf("%s missing %q tag", sp.Name, TagGenerated)
+		}
+	}
+	if reg.Len() != n {
+		t.Fatalf("registry holds %d, want %d (duplicate names?)", reg.Len(), n)
+	}
+	if got := len(reg.List(TagGenerated)); got != n {
+		t.Errorf("tagged listing has %d, want %d", got, n)
+	}
+
+	again := NewGenerator(GenOptions{Seed: 7}).Generate(n)
+	if !reflect.DeepEqual(specs, again) {
+		t.Error("same generator seed did not reproduce the corpus")
+	}
+	other := NewGenerator(GenOptions{Seed: 8}).Generate(n)
+	same := 0
+	for i := range specs {
+		if specs[i].EgoSpeedMPH == other[i].EgoSpeedMPH {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different generator seeds produced identical corpora")
+	}
+}
+
+// TestPropertyGeneratedFamiliesCovered: round-robin sampling covers
+// every requested family, and family restriction holds.
+func TestPropertyGeneratedFamiliesCovered(t *testing.T) {
+	specs := NewGenerator(GenOptions{Seed: 3}).Generate(len(Families()) * 2)
+	seen := map[Family]int{}
+	for _, sp := range specs {
+		for _, f := range Families() {
+			if sp.HasTag(string(f)) {
+				seen[f]++
+			}
+		}
+	}
+	for _, f := range Families() {
+		if seen[f] != 2 {
+			t.Errorf("family %s sampled %d times, want 2", f, seen[f])
+		}
+	}
+	only := NewGenerator(GenOptions{Seed: 3, Families: []Family{FamilyCutOut}}).Generate(5)
+	for _, sp := range only {
+		if !sp.HasTag(string(FamilyCutOut)) {
+			t.Errorf("%s escaped the family restriction", sp.Name)
+		}
+	}
+}
+
+// TestPropertyValBounds: the declared interval really brackets the
+// evaluation formula.
+func TestPropertyValBounds(t *testing.T) {
+	for _, v := range []Val{C(5), J(10, 0.2), J(-10, 0.2), JPlus(52, -19, 0.08), {}} {
+		lo, hi := v.Bounds()
+		if lo > hi {
+			t.Errorf("%+v: bounds inverted [%v, %v]", v, lo, hi)
+		}
+		mid := v.Base + v.Jit
+		if mid < lo-1e-12 || mid > hi+1e-12 {
+			t.Errorf("%+v: center %v outside [%v, %v]", v, mid, lo, hi)
+		}
+		if v.Frac == 0 && math.Abs(hi-lo) > 1e-12 {
+			t.Errorf("%+v: deterministic Val with nonzero range [%v, %v]", v, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Well-known registry tags.
+const (
+	// TagTable1 marks the paper's nine validation scenarios.
+	TagTable1 = "table1"
+	// TagVariant marks the extra operational-design-domain variants.
+	TagVariant = "variant"
+	// TagGenerated marks procedurally generated scenarios.
+	TagGenerated = "generated"
+)
+
+// Registry is a named scenario catalog: scenarios register once under a
+// unique name with free-form tags and are looked up by name or listed
+// by tag, in registration order. It is safe for concurrent use; the
+// engine's result cache keys on these names, so uniqueness here is what
+// keeps generated corpora from aliasing cache slots.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string
+}
+
+// Entry is one registered scenario. Spec is non-nil when the scenario
+// was registered from a declarative spec.
+type Entry struct {
+	Scenario Scenario
+	Tags     []string
+	Spec     *Spec
+}
+
+func (e *Entry) hasTags(tags []string) bool {
+	for _, want := range tags {
+		found := false
+		for _, t := range e.Tags {
+			if t == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Register adds a scenario under its name. Duplicate names are
+// rejected: the engine cache and every by-name API depend on a name
+// identifying exactly one scenario.
+func (r *Registry) Register(sc Scenario, tags ...string) error {
+	return r.register(sc, tags, nil)
+}
+
+// RegisterSpec validates and registers a declarative spec; the spec's
+// tags become the entry's tags.
+func (r *Registry) RegisterSpec(sp Spec) error {
+	if err := sp.Validate(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return r.register(sp.Scenario(), sp.Tags, &sp)
+}
+
+// register inserts the complete entry under one critical section, so
+// concurrent readers never observe a spec-registered scenario without
+// its spec.
+func (r *Registry) register(sc Scenario, tags []string, sp *Spec) error {
+	if sc.Name == "" {
+		return fmt.Errorf("registry: scenario with empty name")
+	}
+	if sc.Build == nil {
+		return fmt.Errorf("registry: scenario %s has no Build", sc.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[sc.Name]; ok {
+		return fmt.Errorf("registry: scenario %q already registered", sc.Name)
+	}
+	r.entries[sc.Name] = &Entry{Scenario: sc, Tags: append([]string(nil), tags...), Spec: sp}
+	r.order = append(r.order, sc.Name)
+	return nil
+}
+
+// mustRegisterSpec is for the built-in catalogs, whose specs are
+// statically known to be valid and unique.
+func (r *Registry) mustRegisterSpec(sp Spec) {
+	if err := r.RegisterSpec(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario.
+func (r *Registry) Lookup(name string) (Scenario, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return e.Scenario, true
+}
+
+// Get returns the full entry (scenario, tags, optional spec).
+func (r *Registry) Get(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// SpecOf returns the declarative spec a scenario was registered from.
+func (r *Registry) SpecOf(name string) (Spec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok || e.Spec == nil {
+		return Spec{}, false
+	}
+	return *e.Spec, true
+}
+
+// List returns the scenarios carrying every given tag (all scenarios
+// when no tags are given), in registration order.
+func (r *Registry) List(tags ...string) []Scenario {
+	entries := r.Entries(tags...)
+	out := make([]Scenario, len(entries))
+	for i, e := range entries {
+		out[i] = e.Scenario
+	}
+	return out
+}
+
+// Entries returns the full entries (scenario, tags, optional spec)
+// carrying every given tag, in registration order.
+func (r *Registry) Entries(tags ...string) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for _, name := range r.order {
+		if e := r.entries[name]; e.hasTags(tags) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Names returns the names of List(tags...).
+func (r *Registry) Names(tags ...string) []string {
+	scs := r.List(tags...)
+	out := make([]string, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// SortedNames returns all matching names sorted alphabetically.
+func (r *Registry) SortedNames(tags ...string) []string {
+	n := r.Names(tags...)
+	sort.Strings(n)
+	return n
+}
+
+// Len reports how many scenarios are registered.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+var defaultRegistry = struct {
+	once sync.Once
+	r    *Registry
+}{}
+
+// Default returns the process-wide registry, seeded on first use with
+// the paper's nine Table-1 scenarios (TagTable1) and the extra ODD
+// variants (TagVariant). Generated scenarios register here to become
+// addressable by name through the facade, the CLIs, and the engine
+// cache.
+func Default() *Registry {
+	defaultRegistry.once.Do(func() {
+		r := NewRegistry()
+		for _, sp := range Table1Specs() {
+			r.mustRegisterSpec(sp)
+		}
+		for _, sp := range VariantSpecs() {
+			r.mustRegisterSpec(sp)
+		}
+		defaultRegistry.r = r
+	})
+	return defaultRegistry.r
+}
+
+// Lookup finds a scenario by name in the default registry — paper
+// scenarios, variants, and anything registered since (e.g. generated
+// corpora).
+func Lookup(name string) (Scenario, bool) { return Default().Lookup(name) }
+
+// Register adds a scenario to the default registry.
+func Register(sc Scenario, tags ...string) error { return Default().Register(sc, tags...) }
+
+// RegisterSpec validates and adds a spec to the default registry.
+func RegisterSpec(sp Spec) error { return Default().RegisterSpec(sp) }

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryRegisterLookupList(t *testing.T) {
+	r := NewRegistry()
+	mk := func(name string) Scenario {
+		return Scenario{Name: name, Build: func(fpr float64, seed int64) sim.Config { return sim.Config{} }}
+	}
+	if err := r.Register(mk("a"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("b"), "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("c")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("b"); !ok {
+		t.Error("b not found")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("phantom scenario found")
+	}
+	if got := r.Names(); !equalStrings(got, []string{"a", "b", "c"}) {
+		t.Errorf("names = %v (registration order lost?)", got)
+	}
+	if got := r.Names("x"); !equalStrings(got, []string{"a", "b"}) {
+		t.Errorf("tag x names = %v", got)
+	}
+	if got := r.Names("x", "y"); !equalStrings(got, []string{"b"}) {
+		t.Errorf("tag x+y names = %v", got)
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	sc := Scenario{Name: "dup", Build: func(fpr float64, seed int64) sim.Config { return sim.Config{} }}
+	if err := r.Register(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(sc); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate accepted: %v", err)
+	}
+	if err := r.Register(Scenario{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(Scenario{Name: "nobuild"}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if err := r.RegisterSpec(Spec{Name: "bad"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	offRoad := Table1Specs()[0]
+	offRoad.Name = "off-road-lane-change"
+	offRoad.Actors[0].Stages[0].Do.TargetLane = 7
+	if err := r.RegisterSpec(offRoad); err == nil || !strings.Contains(err.Error(), "lane change to 7") {
+		t.Errorf("off-road lane change accepted: %v", err)
+	}
+}
+
+func TestRegistrySpecRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	sp := Table1Specs()[0]
+	if err := r.RegisterSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.SpecOf(sp.Name)
+	if !ok {
+		t.Fatal("spec not retrievable")
+	}
+	if got.Name != sp.Name || len(got.Actors) != len(sp.Actors) {
+		t.Errorf("spec round trip: %+v", got)
+	}
+	e, ok := r.Get(sp.Name)
+	if !ok || e.Spec == nil || !e.hasTags([]string{TagTable1}) {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, ok := r.SpecOf("missing"); ok {
+		t.Error("phantom spec")
+	}
+}
+
+func TestDefaultRegistrySeeded(t *testing.T) {
+	r := Default()
+	if got := len(r.List(TagTable1)); got != 9 {
+		t.Errorf("table1 scenarios = %d, want 9", got)
+	}
+	if got := len(r.List(TagVariant)); got != 4 {
+		t.Errorf("variants = %d, want 4", got)
+	}
+	// Lookup covers both catalogs; ByName stays table1-only.
+	if _, ok := Lookup(HighwayPlatoon); !ok {
+		t.Error("variant not resolvable through Lookup")
+	}
+	if _, ok := Lookup(CutOutFast); !ok {
+		t.Error("paper scenario not resolvable through Lookup")
+	}
+	if _, ok := ByName(HighwayPlatoon); ok {
+		t.Error("variant leaked into the paper scenario listing")
+	}
+	for _, sc := range r.List() {
+		if _, ok := r.SpecOf(sc.Name); !ok {
+			t.Errorf("%s: built-in scenario without a spec", sc.Name)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,27 +1,45 @@
-// Package scenario defines the paper's nine validation driving
-// scenarios (Table 1) plus extra operational-design-domain variants. All
-// scenarios take place on a 3-lane road; each returns a complete
-// simulator configuration whose geometry is jittered by a seed,
-// reproducing the run-to-run variance the paper averages over ten runs.
+// Package scenario is the procedural scenario subsystem: a declarative
+// Spec language for parameterized driving scenarios, a named Registry
+// with tag-based listing, and a seeded Generator that samples spec
+// families into arbitrarily large scenario corpora.
 //
-// The scenario geometries (initial gaps, cut triggers, braking levels)
-// are tuned so the qualitative Table-1 shape holds on this simulator:
-// the cut-out scenarios require the highest frame processing rates (the
-// fast variant more than the slow one), the challenging cut-ins require
-// moderate rates, and the benign activity scenarios are safe at 1 FPR.
+// # Spec
+//
+// A Spec declares a scenario — road geometry, ego speed and lane,
+// scripted actors with trigger-gated maneuver stages — with every
+// scalar as a possibly-jittered Val. Compile(fpr, seed) lowers the spec
+// to a sim.Config: jittered values draw from the seed's jitter stream
+// in declaration order, reproducing the run-to-run variance the paper
+// averages over ten runs while staying fully deterministic per
+// (name, fpr, seed). CompileTraced additionally records every evaluated
+// value, which is how the property tests pin determinism and
+// declared-range containment.
+//
+// # Registry
+//
+// The Registry maps unique names to scenarios, with tags (TagTable1,
+// TagVariant, TagGenerated, family names) for listing and filtering.
+// Default() is the process-wide catalog, seeded with the paper's nine
+// Table-1 scenarios and the extra ODD variants; generated scenarios
+// register there to become addressable by every layer above — the run
+// engine keys its result cache on these names.
+//
+// # Generator
+//
+// NewGenerator samples spec families (cut-in, cut-out, following,
+// crossing, benign activity) at varied speeds, gaps, braking levels,
+// and curvatures, yielding deterministic, uniquely named, valid specs
+// for corpus-scale sweeps (see internal/experiments.CorpusSweep).
+//
+// The nine Table-1 scenarios (Table1Specs) compile byte-for-byte
+// equivalent to the original hand-written builders; the golden tests in
+// this package prove it against a frozen copy of those builders.
 package scenario
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
 
-	"repro/internal/behavior"
-	"repro/internal/perception"
-	"repro/internal/road"
 	"repro/internal/sim"
-	"repro/internal/units"
-	"repro/internal/vehicle"
 )
 
 // Canonical scenario names, in the paper's Table-1 order.
@@ -51,408 +69,39 @@ type Scenario struct {
 	Build func(fpr float64, seed int64) sim.Config
 }
 
-// All returns the nine Table-1 scenarios in the paper's order.
-func All() []Scenario {
-	return []Scenario{
-		{
-			Name:          CutOut,
-			Description:   "Lead cuts out of the ego's lane revealing a static obstacle; adjacent lanes blocked",
-			EgoSpeedMPH:   20,
-			FrontActivity: true, RightActivity: true, LeftActivity: true,
-			Build: func(fpr float64, seed int64) sim.Config { return buildCutOut(fpr, seed, false) },
-		},
-		{
-			Name:          CutOutFast,
-			Description:   "Cut-out at higher ego speed",
-			EgoSpeedMPH:   40,
-			FrontActivity: true, RightActivity: true, LeftActivity: true,
-			Build: func(fpr float64, seed int64) sim.Config { return buildCutOut(fpr, seed, true) },
-		},
-		{
-			Name:          CutIn,
-			Description:   "Actor cuts in far ahead of the ego",
-			EgoSpeedMPH:   70,
-			FrontActivity: true,
-			Build:         buildCutIn,
-		},
-		{
-			Name:          ChallengingCutIn,
-			Description:   "Actor cuts in close ahead; left lane blocked, braking is the only option",
-			EgoSpeedMPH:   60,
-			FrontActivity: true, RightActivity: true,
-			Build: func(fpr float64, seed int64) sim.Config { return buildChallengingCutIn(fpr, seed, false) },
-		},
-		{
-			Name:          ChallengingCutInCurved,
-			Description:   "Challenging cut-in on a curved road",
-			EgoSpeedMPH:   40,
-			FrontActivity: true, RightActivity: true, LeftActivity: true,
-			Build: func(fpr float64, seed int64) sim.Config { return buildChallengingCutIn(fpr, seed, true) },
-		},
-		{
-			Name:          VehicleFollowing,
-			Description:   "Ego follows the lead at 50 m on a highway; the lead hard-brakes to zero",
-			EgoSpeedMPH:   70,
-			FrontActivity: true,
-			Build:         buildVehicleFollowing,
-		},
-		{
-			Name:          FrontRightActivity1,
-			Description:   "Benign lane changes in adjacent lanes; no corridor conflicts",
-			EgoSpeedMPH:   40,
-			FrontActivity: true, RightActivity: true,
-			Build: buildFrontRight1,
-		},
-		{
-			Name:          FrontRightActivity2,
-			Description:   "Front actor cuts out to the right and paces the ego; rear actor follows",
-			EgoSpeedMPH:   40,
-			FrontActivity: true, RightActivity: true,
-			Build: buildFrontRight2,
-		},
-		{
-			// The paper's Table-1 activity columns for this row are
-			// ambiguous in the source text; the flags here follow the
-			// §4.1 description ("an actor is launched on the right most
-			// lane, which cuts into the ego's lane ahead of the ego").
-			Name:          FrontRightActivity3,
-			Description:   "Actor from the rightmost lane cuts in ahead of the ego",
-			EgoSpeedMPH:   60,
-			FrontActivity: true, RightActivity: true,
-			Build: buildFrontRight3,
-		},
+// All returns the nine Table-1 scenarios in the paper's order, from the
+// default registry.
+func All() []Scenario { return Default().List(TagTable1) }
+
+// ByName returns the named Table-1 scenario. Use Lookup to resolve any
+// registered scenario (variants, generated corpora).
+func ByName(name string) (Scenario, bool) { return taggedLookup(name, TagTable1) }
+
+// taggedLookup resolves a name in the default registry only when the
+// entry carries the tag.
+func taggedLookup(name, tag string) (Scenario, bool) {
+	e, ok := Default().Get(name)
+	if !ok || !e.hasTags([]string{tag}) {
+		return Scenario{}, false
 	}
+	return e.Scenario, true
 }
 
-// ByName returns the named scenario.
-func ByName(name string) (Scenario, bool) {
-	for _, s := range All() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Scenario{}, false
-}
+// Names lists the nine Table-1 scenario names in order.
+func Names() []string { return Default().Names(TagTable1) }
 
-// Names lists all scenario names in order.
-func Names() []string {
-	var out []string
-	for _, s := range All() {
-		out = append(out, s.Name)
-	}
-	return out
-}
+// SortedNames returns the Table-1 scenario names sorted alphabetically
+// (for CLIs).
+func SortedNames() []string { return Default().SortedNames(TagTable1) }
 
-// jitterer perturbs scenario geometry deterministically per seed.
-type jitterer struct{ rng *rand.Rand }
-
-func newJitterer(seed int64) jitterer {
-	return jitterer{rng: rand.New(rand.NewSource(seed ^ 0x5eed))}
-}
-
-// val returns base perturbed by up to ±frac (relative).
-func (j jitterer) val(base, frac float64) float64 {
-	return base * (1 + frac*(2*j.rng.Float64()-1))
-}
-
-func baseConfig(name string, fpr float64, seed int64, r *road.Road, egoLane int, egoSpeed float64) sim.Config {
-	return sim.Config{
-		Name:            name,
-		Road:            r,
-		EgoInit:         vehicle.FrenetState{S: 0, D: r.LaneCenterOffset(egoLane), Speed: egoSpeed},
-		EgoParams:       vehicle.Car(),
-		DesiredSpeed:    egoSpeed,
-		Duration:        30,
-		FPR:             fpr,
-		Perception:      perception.DefaultConfig(),
-		Seed:            seed,
-		StopOnCollision: true,
-	}
-}
-
-// buildCutOut implements the Cut-out and Cut-out fast scenarios: the ego
-// follows a lead in the center lane; adjacent lanes carry blockers
-// pacing the ego; the lead swerves left, revealing a static obstacle.
-func buildCutOut(fpr float64, seed int64, fast bool) sim.Config {
-	j := newJitterer(seed)
-	mph := 20.0
-	leadGap := 14.0    // initial bumper-ish gap to the lead, m
-	revealLead := 19.0 // lead's gap to the obstacle when it swerves, m
-	obstacleAhead := 52.0
-	swerve := 1.9 // lead lane-change duration, s
-	if fast {
-		mph = 40
-		leadGap = 27
-		revealLead = 13
-		obstacleAhead = 92
-		swerve = 1.5
-	}
-	v := units.MPHToMPS(mph)
-	r := road.NewStraight(3, 5000)
-	cfg := baseConfig(CutOut, fpr, seed, r, 1, v)
-	if fast {
-		cfg.Name = CutOutFast
-	}
-
-	leadS := leadGap + cfg.EgoParams.Length
-	obstacleS := obstacleAhead
-
-	cfg.Actors = []sim.ActorSpec{
-		{
-			ID:     "lead",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: leadS, D: r.LaneCenterOffset(1), Speed: v},
-			Script: behavior.NewScript(
-				behavior.Stage{
-					When: behavior.AtStation(obstacleS - j.val(revealLead, 0.08)),
-					Do:   &behavior.LaneChange{TargetLane: 2, Duration: j.val(swerve, 0.1)},
-				},
-			),
-		},
-		{
-			ID:     "obstacle",
-			Params: vehicle.StaticObstacle(),
-			Init:   vehicle.FrenetState{S: obstacleS, D: r.LaneCenterOffset(1)},
-		},
-		{
-			ID:     "left-blocker",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(-6, 0.3), D: r.LaneCenterOffset(2), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.MatchBeside{OffsetS: j.val(-6, 0.3), MaxAccel: 2.5, MaxBrake: 6},
-			}),
-		},
-		{
-			ID:     "right-blocker",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(4, 0.5), D: r.LaneCenterOffset(0), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.MatchBeside{OffsetS: j.val(4, 0.5), MaxAccel: 2.5, MaxBrake: 6},
-			}),
-		},
-	}
-	cfg.Duration = 25
-	return cfg
-}
-
-// buildCutIn implements the (mild) Cut-in: an actor one lane over and
-// far ahead merges into the ego's lane at a lower speed.
-func buildCutIn(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(70)
-	r := road.NewStraight(3, 8000)
-	cfg := baseConfig(CutIn, fpr, seed, r, 1, v)
-	cfg.Actors = []sim.ActorSpec{{
-		ID:     "cutter",
-		Params: vehicle.Car(),
-		Init:   vehicle.FrenetState{S: j.val(58, 0.08), D: r.LaneCenterOffset(2), Speed: j.val(0.82, 0.05) * v},
-		Script: behavior.NewScript(
-			behavior.Stage{
-				When: behavior.AtTime(j.val(2.5, 0.2)),
-				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(3.0, 0.1)},
-			},
-			behavior.Stage{
-				When: behavior.AtTime(10),
-				Do:   &behavior.BrakeTo{Target: 0.62 * v, Decel: j.val(2.8, 0.1)},
-			},
-		),
-	}}
-	cfg.Duration = 30
-	return cfg
-}
-
-// buildChallengingCutIn implements the close cut-in: an actor pacing the
-// ego in the right lane accelerates, merges barely ahead, and brakes; a
-// blocker in the left lane rules out evasion. The curved variant places
-// the same choreography on a constant-radius left curve.
-func buildChallengingCutIn(fpr float64, seed int64, curved bool) sim.Config {
-	j := newJitterer(seed)
-	mph := 60.0
-	if curved {
-		mph = 40
-	}
-	v := units.MPHToMPS(mph)
-	var r *road.Road
-	if curved {
-		r = road.NewCurved(3, 60, 280, 2500)
-	} else {
-		r = road.NewStraight(3, 8000)
-	}
-	cfg := baseConfig(ChallengingCutIn, fpr, seed, r, 1, v)
-	brakeTarget := 0.28
-	if curved {
-		cfg.Name = ChallengingCutInCurved
-		// The lower curved-road speed is more forgiving; the cutter must
-		// brake deeper to stress the same perception-latency boundary.
-		brakeTarget = 0.18
-	}
-	cfg.Actors = []sim.ActorSpec{
-		{
-			ID:     "cutter",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(3, 0.5), D: r.LaneCenterOffset(0), Speed: v},
-			Script: behavior.NewScript(
-				behavior.Stage{
-					When: behavior.AtTime(j.val(2.0, 0.2)),
-					Do:   &behavior.AccelTo{Target: 1.12 * v, Accel: 2.5},
-				},
-				behavior.Stage{
-					When: behavior.WhenGapToEgoAbove(j.val(6, 0.1)),
-					Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(1.0, 0.1)},
-				},
-				behavior.Stage{
-					When: behavior.Immediately(),
-					Do:   &behavior.BrakeTo{Target: brakeTarget * v, Decel: j.val(8.2, 0.05)},
-				},
-			),
-		},
-		{
-			ID:     "left-blocker",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: -10, D: r.LaneCenterOffset(2), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.MatchBeside{OffsetS: j.val(-9, 0.2), MaxAccel: 2.5, MaxBrake: 6},
-			}),
-		},
-	}
-	cfg.Duration = 30
-	return cfg
-}
-
-// buildVehicleFollowing implements highway following with a sudden full
-// stop by the lead.
-func buildVehicleFollowing(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(70)
-	r := road.NewStraight(3, 8000)
-	cfg := baseConfig(VehicleFollowing, fpr, seed, r, 1, v)
-	cfg.Actors = []sim.ActorSpec{{
-		ID:     "lead",
-		Params: vehicle.Car(),
-		Init:   vehicle.FrenetState{S: 50 + cfg.EgoParams.Length, D: r.LaneCenterOffset(1), Speed: v},
-		Script: behavior.NewScript(behavior.Stage{
-			When: behavior.AtTime(j.val(5, 0.2)),
-			Do:   &behavior.BrakeTo{Target: 0, Decel: j.val(5.0, 0.06)},
-		}),
-	}}
-	cfg.Duration = 30
-	return cfg
-}
-
-// buildFrontRight1: ego in the left lane; an actor from the rightmost
-// lane merges to the middle; a rear actor merges right. Nothing enters
-// the ego's corridor.
-func buildFrontRight1(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(40)
-	r := road.NewStraight(3, 6000)
-	cfg := baseConfig(FrontRightActivity1, fpr, seed, r, 2, v)
-	cfg.Actors = []sim.ActorSpec{
-		{
-			ID:     "merger",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(30, 0.1), D: r.LaneCenterOffset(0), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(2, 0.2)),
-				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.5, 0.1)},
-			}),
-		},
-		{
-			ID:     "rear",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(-28, 0.1), D: r.LaneCenterOffset(2), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(4, 0.2)),
-				Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.5, 0.1)},
-			}),
-		},
-	}
-	cfg.Duration = 25
-	return cfg
-}
-
-// buildFrontRight2: ego in the middle lane; the front actor cuts out to
-// the rightmost lane and paces the ego; a rear actor follows the ego.
-func buildFrontRight2(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(40)
-	r := road.NewStraight(3, 6000)
-	cfg := baseConfig(FrontRightActivity2, fpr, seed, r, 1, v)
-	cfg.Actors = []sim.ActorSpec{
-		{
-			ID:     "pacer",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(32, 0.1), D: r.LaneCenterOffset(1), Speed: v},
-			Script: behavior.NewScript(
-				behavior.Stage{
-					When: behavior.AtTime(j.val(3, 0.2)),
-					Do:   &behavior.LaneChange{TargetLane: 0, Duration: j.val(2.5, 0.1)},
-				},
-				behavior.Stage{
-					When: behavior.Immediately(),
-					Do:   &behavior.MatchBeside{OffsetS: j.val(2, 0.5), MaxAccel: 2.5, MaxBrake: 6},
-				},
-			),
-		},
-		{
-			ID:     "follower",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(-30, 0.1), D: r.LaneCenterOffset(1), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.FollowEgo{Gap: j.val(26, 0.1), MaxAccel: 2.5, MaxBrake: 6},
-			}),
-		},
-	}
-	cfg.Duration = 25
-	return cfg
-}
-
-// buildFrontRight3: ego in the middle lane; an actor from the rightmost
-// lane cuts into the ego's lane well ahead.
-func buildFrontRight3(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(60)
-	r := road.NewStraight(3, 8000)
-	cfg := baseConfig(FrontRightActivity3, fpr, seed, r, 1, v)
-	cfg.Actors = []sim.ActorSpec{{
-		ID:     "cutter",
-		Params: vehicle.Car(),
-		Init:   vehicle.FrenetState{S: j.val(42, 0.08), D: r.LaneCenterOffset(0), Speed: 0.9 * v},
-		Script: behavior.NewScript(behavior.Stage{
-			When: behavior.WhenGapToEgoBelow(j.val(38, 0.08)),
-			Do:   &behavior.LaneChange{TargetLane: 1, Duration: j.val(2.6, 0.1)},
-		}),
-	}}
-	cfg.Duration = 25
-	return cfg
-}
-
-// Validate builds every scenario once and checks the configuration is
-// runnable; used by tests and the CLI.
+// Validate compiles every registered scenario once and checks the
+// configuration is runnable; used by tests and the CLI.
 func Validate() error {
-	for _, s := range All() {
+	for _, s := range Default().List() {
 		cfg := s.Build(30, 1)
-		if cfg.Road == nil || cfg.Duration <= 0 {
-			return fmt.Errorf("scenario %s: invalid config", s.Name)
-		}
-		names := map[string]bool{}
-		for _, a := range cfg.Actors {
-			if names[a.ID] {
-				return fmt.Errorf("scenario %s: duplicate actor %s", s.Name, a.ID)
-			}
-			names[a.ID] = true
+		if err := sim.ValidateConfig(cfg); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
 	return nil
-}
-
-// SortedNames returns scenario names sorted alphabetically (for CLIs).
-func SortedNames() []string {
-	n := Names()
-	sort.Strings(n)
-	return n
 }

@@ -1,12 +1,6 @@
 package scenario
 
-import (
-	"repro/internal/behavior"
-	"repro/internal/road"
-	"repro/internal/sim"
-	"repro/internal/units"
-	"repro/internal/vehicle"
-)
+import "repro/internal/vehicle"
 
 // Extra operational-design-domain variants beyond the paper's nine
 // validation scenarios. The paper motivates Zhuyi partly as an ODD
@@ -21,203 +15,143 @@ const (
 	DenseTraffic   = "dense-traffic"
 )
 
-// Variants returns the extra scenarios.
-func Variants() []Scenario {
-	return []Scenario{
-		{
-			Name:          HighwayPlatoon,
-			Description:   "Ego trails a three-vehicle platoon at 65 mph; the platoon leader hard-brakes and the braking wave propagates",
-			EgoSpeedMPH:   65,
-			FrontActivity: true,
-			Build:         buildHighwayPlatoon,
-		},
-		{
-			Name:          TruckCutOut,
-			Description:   "Cut-out with a box truck as the occluder: a longer occlusion shadow and a later reveal",
-			EgoSpeedMPH:   35,
-			FrontActivity: true, RightActivity: true, LeftActivity: true,
-			Build: buildTruckCutOut,
-		},
-		{
-			Name:          UrbanCrosser,
-			Description:   "A crossing agent traverses the road laterally ahead of the ego at urban speed",
-			EgoSpeedMPH:   25,
-			FrontActivity: true, RightActivity: true,
-			Build: buildUrbanCrosser,
-		},
-		{
-			Name:          DenseTraffic,
-			Description:   "Six surrounding actors at 45 mph; the lead brakes moderately",
-			EgoSpeedMPH:   45,
-			FrontActivity: true, RightActivity: true, LeftActivity: true,
-			Build: buildDenseTraffic,
-		},
-	}
-}
+// Variants returns the extra scenarios from the default registry.
+func Variants() []Scenario { return Default().List(TagVariant) }
 
 // AllWithVariants returns the nine paper scenarios followed by the
 // variants.
 func AllWithVariants() []Scenario { return append(All(), Variants()...) }
 
 // VariantByName looks a variant up by name (ByName only covers the nine
-// paper scenarios).
-func VariantByName(name string) (Scenario, bool) {
-	for _, s := range Variants() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Scenario{}, false
-}
+// paper scenarios; Lookup covers everything registered).
+func VariantByName(name string) (Scenario, bool) { return taggedLookup(name, TagVariant) }
 
-func buildHighwayPlatoon(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(65)
-	r := road.NewStraight(3, 8000)
-	cfg := baseConfig(HighwayPlatoon, fpr, seed, r, 1, v)
-	// Three platoon vehicles ahead at ~30 m spacing; the leader brakes
-	// hard at t≈6 and the followers react with small delays, producing
-	// the braking wave the ego must absorb last.
-	gaps := []float64{35, 68, 101}
-	for i, g := range gaps {
-		spec := sim.ActorSpec{
-			ID:     []string{"p1", "p2", "p3"}[i],
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: g, D: r.LaneCenterOffset(1), Speed: v},
-		}
-		switch i {
-		case 2: // platoon leader
-			spec.Script = behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(6, 0.15)),
-				Do:   &behavior.BrakeTo{Target: 0.3 * v, Decel: j.val(6.0, 0.08)},
-			})
-		case 1:
-			spec.Script = behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(6.8, 0.15)),
-				Do:   &behavior.BrakeTo{Target: 0.28 * v, Decel: j.val(6.5, 0.08)},
-			})
-		default:
-			spec.Script = behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(7.5, 0.15)),
-				Do:   &behavior.BrakeTo{Target: 0.26 * v, Decel: j.val(7.0, 0.08)},
-			})
-		}
-		cfg.Actors = append(cfg.Actors, spec)
-	}
-	cfg.Duration = 25
-	return cfg
-}
-
-func buildTruckCutOut(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(35)
-	r := road.NewStraight(3, 5000)
-	cfg := baseConfig(TruckCutOut, fpr, seed, r, 1, v)
-	truck := vehicle.Truck()
-	obstacleS := 90.0
-	cfg.Actors = []sim.ActorSpec{
+// VariantSpecs returns the ODD variant scenarios as declarative specs.
+func VariantSpecs() []Spec {
+	truckLen := vehicle.Truck().Length
+	return []Spec{
+		// Three platoon vehicles ahead at ~30 m spacing; the leader
+		// brakes hard at t≈6 and the followers react with small delays,
+		// producing the braking wave the ego must absorb last.
 		{
-			ID:     "truck",
-			Params: truck,
-			Init:   vehicle.FrenetState{S: 24 + truck.Length/2, D: r.LaneCenterOffset(1), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.AtStation(obstacleS - j.val(20, 0.08)),
-				Do:   &behavior.LaneChange{TargetLane: 2, Duration: j.val(2.4, 0.1)},
-			}),
+			Name:        HighwayPlatoon,
+			Description: "Ego trails a three-vehicle platoon at 65 mph; the platoon leader hard-brakes and the braking wave propagates",
+			Tags:        []string{TagVariant},
+			EgoSpeedMPH: 65,
+			Front:       true,
+			Road:        RoadDef{Lanes: 3, Length: 8000},
+			EgoLane:     1,
+			Duration:    25,
+			Actors: []ActorDef{
+				{
+					ID: "p1", Lane: 1, S: C(35), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigAtTime, Arg: J(7.5, 0.15)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: C(0.26), Rate: J(7.0, 0.08)},
+					}},
+				},
+				{
+					ID: "p2", Lane: 1, S: C(68), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigAtTime, Arg: J(6.8, 0.15)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: C(0.28), Rate: J(6.5, 0.08)},
+					}},
+				},
+				{
+					ID: "p3", Lane: 1, S: C(101), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigAtTime, Arg: J(6, 0.15)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: C(0.3), Rate: J(6.0, 0.08)},
+					}},
+				},
+			},
 		},
+		// Cut-out with a box truck as the occluder: a longer occlusion
+		// shadow and a later reveal.
 		{
-			ID:     "obstacle",
-			Params: vehicle.StaticObstacle(),
-			Init:   vehicle.FrenetState{S: obstacleS, D: r.LaneCenterOffset(1)},
+			Name:        TruckCutOut,
+			Description: "Cut-out with a box truck as the occluder: a longer occlusion shadow and a later reveal",
+			Tags:        []string{TagVariant},
+			EgoSpeedMPH: 35,
+			Front:       true, Right: true, Left: true,
+			Road:     RoadDef{Lanes: 3, Length: 5000},
+			EgoLane:  1,
+			Duration: 25,
+			Actors: []ActorDef{
+				{
+					ID: "truck", Kind: KindTruck, Lane: 1, S: C(24 + truckLen/2), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigAtStation, Arg: JPlus(90, -20, 0.08)},
+						Do:   ActionDef{Kind: ActLaneChange, TargetLane: 2, Duration: J(2.4, 0.1)},
+					}},
+				},
+				{ID: "obstacle", Kind: KindObstacle, Lane: 1, S: C(90)},
+				{
+					ID: "right-blocker", Lane: 0, S: J(3, 0.5), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigImmediately},
+						Do:   ActionDef{Kind: ActMatchBeside, Offset: J(3, 0.5), MaxAccel: 2.5, MaxBrake: 6},
+					}},
+				},
+			},
 		},
+		// The crosser starts on the right shoulder ahead of the ego and
+		// traverses the road laterally at walking-fast pace while
+		// drifting slowly forward.
 		{
-			ID:     "right-blocker",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(3, 0.5), D: r.LaneCenterOffset(0), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.MatchBeside{OffsetS: j.val(3, 0.5), MaxAccel: 2.5, MaxBrake: 6},
-			}),
+			Name:        UrbanCrosser,
+			Description: "A crossing agent traverses the road laterally ahead of the ego at urban speed",
+			Tags:        []string{TagVariant},
+			EgoSpeedMPH: 25,
+			Front:       true, Right: true,
+			Road:     RoadDef{Lanes: 3, Length: 3000},
+			EgoLane:  1,
+			Duration: 20,
+			Actors: []ActorDef{
+				{
+					ID:   "crosser",
+					Kind: KindCustom,
+					Custom: vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3},
+					Lane: 0, DOffset: -3.0,
+					S: J(55, 0.1), Speed: C(0.5), SpeedAbsolute: true,
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigEgoWithin, Arg: J(50, 0.1)},
+						Do:   ActionDef{Kind: ActDrift, LatVel: J(1.8, 0.1), Duration: C(7)},
+					}},
+				},
+				{ID: "parked", Lane: 0, DOffset: -2.6, S: C(40)},
+			},
 		},
-	}
-	cfg.Duration = 25
-	return cfg
-}
-
-func buildUrbanCrosser(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(25)
-	r := road.NewStraight(3, 3000)
-	cfg := baseConfig(UrbanCrosser, fpr, seed, r, 1, v)
-	// The crosser starts on the right shoulder ahead of the ego and
-	// traverses the road laterally at walking-fast pace while drifting
-	// slowly forward.
-	crosser := vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3}
-	cfg.Actors = []sim.ActorSpec{
+		// Six surrounding actors; the lead brakes moderately.
 		{
-			ID:     "crosser",
-			Params: crosser,
-			Init:   vehicle.FrenetState{S: j.val(55, 0.1), D: r.LaneCenterOffset(0) - 3.0, Speed: 0.5},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.WhenEgoWithin(j.val(50, 0.1)),
-				Do:   &behavior.Drift{LatVel: j.val(1.8, 0.1), Duration: 7},
-			}),
-		},
-		{
-			ID:     "parked",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: 40, D: r.LaneCenterOffset(0) - 2.6},
-		},
-	}
-	cfg.Duration = 20
-	return cfg
-}
-
-func buildDenseTraffic(fpr float64, seed int64) sim.Config {
-	j := newJitterer(seed)
-	v := units.MPHToMPS(45)
-	r := road.NewStraight(3, 6000)
-	cfg := baseConfig(DenseTraffic, fpr, seed, r, 1, v)
-	cfg.Actors = []sim.ActorSpec{
-		{
-			ID:     "lead",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: 32, D: r.LaneCenterOffset(1), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.AtTime(j.val(5, 0.2)),
-				Do:   &behavior.BrakeTo{Target: 0.6 * v, Decel: j.val(3.5, 0.1)},
-			}),
-		},
-		{
-			ID:     "left-front",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(18, 0.2), D: r.LaneCenterOffset(2), Speed: v},
-		},
-		{
-			ID:     "left-rear",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(-15, 0.2), D: r.LaneCenterOffset(2), Speed: 1.02 * v},
-		},
-		{
-			ID:     "right-front",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(22, 0.2), D: r.LaneCenterOffset(0), Speed: 0.97 * v},
-		},
-		{
-			ID:     "right-rear",
-			Params: vehicle.Car(),
-			Init:   vehicle.FrenetState{S: j.val(-20, 0.2), D: r.LaneCenterOffset(0), Speed: v},
-			Script: behavior.NewScript(behavior.Stage{
-				When: behavior.Immediately(),
-				Do:   &behavior.FollowEgo{Gap: j.val(22, 0.1), MaxAccel: 2.5, MaxBrake: 6},
-			}),
-		},
-		{
-			ID:     "far-lead",
-			Params: vehicle.Truck(),
-			Init:   vehicle.FrenetState{S: 95, D: r.LaneCenterOffset(1), Speed: 0.95 * v},
+			Name:        DenseTraffic,
+			Description: "Six surrounding actors at 45 mph; the lead brakes moderately",
+			Tags:        []string{TagVariant},
+			EgoSpeedMPH: 45,
+			Front:       true, Right: true, Left: true,
+			Road:     RoadDef{Lanes: 3, Length: 6000},
+			EgoLane:  1,
+			Duration: 25,
+			Actors: []ActorDef{
+				{
+					ID: "lead", Lane: 1, S: C(32), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigAtTime, Arg: J(5, 0.2)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: C(0.6), Rate: J(3.5, 0.1)},
+					}},
+				},
+				{ID: "left-front", Lane: 2, S: J(18, 0.2), Speed: C(1)},
+				{ID: "left-rear", Lane: 2, S: J(-15, 0.2), Speed: C(1.02)},
+				{ID: "right-front", Lane: 0, S: J(22, 0.2), Speed: C(0.97)},
+				{
+					ID: "right-rear", Lane: 0, S: J(-20, 0.2), Speed: C(1),
+					Stages: []StageDef{{
+						When: TriggerDef{Kind: TrigImmediately},
+						Do:   ActionDef{Kind: ActFollowEgo, Offset: J(22, 0.1), MaxAccel: 2.5, MaxBrake: 6},
+					}},
+				},
+				{ID: "far-lead", Kind: KindTruck, Lane: 1, S: C(95), Speed: C(0.95)},
+			},
 		},
 	}
-	cfg.Duration = 25
-	return cfg
 }

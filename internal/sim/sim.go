@@ -218,6 +218,13 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// ValidateConfig checks a configuration the same way Run does —
+// road/duration/rate sanity, duplicate actor IDs — without running it.
+// Defaults (dt, rig, perception, rate epoch) are applied to a copy, so
+// the caller's configuration is not mutated. Scenario tooling uses this
+// to vet generated corpora cheaply.
+func ValidateConfig(cfg Config) error { return validate(&cfg) }
+
 func validate(cfg *Config) error {
 	if cfg.Road == nil {
 		return fmt.Errorf("sim: nil road")

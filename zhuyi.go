@@ -44,6 +44,29 @@
 // FindMRF and the experiment generators run on the same engine, so a
 // library campaign, an MRF search, and a Table-1 sweep in one process
 // share their simulations.
+//
+// # Generating scenario corpora
+//
+// The nine Table-1 scenarios are registry entries compiled from
+// declarative specs; the same machinery generates arbitrarily large
+// scenario corpora. GenerateScenarios samples spec families (cut-in,
+// cut-out, following, crossing, benign activity) deterministically from
+// a seed; RegisterScenario makes a spec addressable by name, after
+// which campaigns, MRF searches, and RunScenario accept it like a
+// built-in — and the engine caches its runs under the registered name:
+//
+//	var points []zhuyi.CampaignPoint
+//	for _, sp := range zhuyi.GenerateScenarios(zhuyi.GenOptions{Seed: 1}, 50) {
+//		if err := zhuyi.RegisterScenario(sp); err != nil { ... }
+//		for seed := int64(1); seed <= 3; seed++ {
+//			points = append(points, zhuyi.CampaignPoint{Scenario: sp.Name, FPR: 10, Seed: seed})
+//		}
+//	}
+//	res, err := zhuyi.Campaign(ctx, nil, points)
+//
+// The corpus-sweep experiment (internal/experiments.CorpusSweep, or
+// `experiments -exp corpus`) builds on the same generator to measure
+// the minimum-required-FPR distribution over generated corpora.
 package zhuyi
 
 import (
@@ -119,13 +142,48 @@ func NewEstimator() *Estimator { return core.NewEstimator() }
 // Scenarios lists the nine validation scenario names in Table-1 order.
 func Scenarios() []string { return scenario.Names() }
 
+// RegisteredScenarios lists every scenario name the registry resolves,
+// optionally filtered to names carrying all the given tags (e.g.
+// "table1", "variant", "generated").
+func RegisteredScenarios(tags ...string) []string { return scenario.Default().Names(tags...) }
+
+// Scenario spec and generator re-exports. See internal/scenario for
+// the full Spec language and family documentation.
+type (
+	// ScenarioSpec is a declarative, parameterized scenario that
+	// compiles to a simulator configuration per (FPR, seed).
+	ScenarioSpec = scenario.Spec
+	// ScenarioFamily names a procedural generation family.
+	ScenarioFamily = scenario.Family
+	// GenOptions seeds and restricts a scenario generator.
+	GenOptions = scenario.GenOptions
+)
+
+// ScenarioFamilies lists the procedural spec families.
+func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
+
+// GenerateScenarios deterministically samples n scenario specs from the
+// generator options' seed and families. The specs are valid and
+// uniquely named; register them with RegisterScenario to run them by
+// name.
+func GenerateScenarios(opt GenOptions, n int) []ScenarioSpec {
+	return scenario.NewGenerator(opt).Generate(n)
+}
+
+// RegisterScenario adds a spec to the process-wide scenario registry,
+// making it addressable by name in campaigns, MRF searches, and
+// RunScenario. Names must be unique; the engine's result cache keys on
+// them.
+func RegisterScenario(sp ScenarioSpec) error { return scenario.RegisterSpec(sp) }
+
 // RunScenario executes one seeded closed-loop run of a named scenario
 // at a uniform per-camera frame processing rate and returns the
-// recorded result.
+// recorded result. Any registered scenario resolves: the Table-1 nine,
+// the ODD variants, and generated specs added via RegisterScenario.
 func RunScenario(name string, fpr float64, seed int64) (*RunResult, error) {
-	sc, ok := scenario.ByName(name)
+	sc, ok := scenario.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("zhuyi: unknown scenario %q (see Scenarios())", name)
+		return nil, fmt.Errorf("zhuyi: unknown scenario %q (see RegisteredScenarios())", name)
 	}
 	return metrics.RunScenario(sc, fpr, seed)
 }
@@ -133,7 +191,7 @@ func RunScenario(name string, fpr float64, seed int64) (*RunResult, error) {
 // FindMRF searches a scenario's minimum required FPR over the given
 // rate grid and seed count (paper protocol: Table-1 grid, 10 seeds).
 func FindMRF(name string, fprs []float64, seeds int) (MRF, error) {
-	sc, ok := scenario.ByName(name)
+	sc, ok := scenario.Lookup(name)
 	if !ok {
 		return MRF{}, fmt.Errorf("zhuyi: unknown scenario %q", name)
 	}
@@ -198,9 +256,9 @@ func Campaign(ctx context.Context, eng *Engine, points []CampaignPoint) (*Campai
 	}
 	jobs := make([]engine.Job, len(points))
 	for i, pt := range points {
-		sc, ok := scenario.ByName(pt.Scenario)
+		sc, ok := scenario.Lookup(pt.Scenario)
 		if !ok {
-			return nil, fmt.Errorf("zhuyi: unknown scenario %q (see Scenarios())", pt.Scenario)
+			return nil, fmt.Errorf("zhuyi: unknown scenario %q (see RegisteredScenarios())", pt.Scenario)
 		}
 		jobs[i] = engine.Job{Scenario: sc, FPR: pt.FPR, Seed: pt.Seed}
 	}

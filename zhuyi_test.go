@@ -2,6 +2,7 @@ package zhuyi
 
 import (
 	"context"
+	"strings"
 	"testing"
 )
 
@@ -109,6 +110,64 @@ func TestCampaignFacade(t *testing.T) {
 	// Unknown scenarios are rejected before submission.
 	if _, err := Campaign(context.Background(), eng, []CampaignPoint{{Scenario: "bogus", FPR: 1, Seed: 1}}); err == nil {
 		t.Error("bogus campaign accepted")
+	}
+}
+
+func TestGeneratedScenarioCampaignFacade(t *testing.T) {
+	specs := GenerateScenarios(GenOptions{Seed: 123, Prefix: "facade-test"}, 3)
+	if len(specs) != 3 {
+		t.Fatalf("generated %d specs", len(specs))
+	}
+	var points []CampaignPoint
+	for _, sp := range specs {
+		// The default registry is process-wide: under -count>1 this
+		// test's specs are already registered from the previous run.
+		if err := RegisterScenario(sp); err != nil && !strings.Contains(err.Error(), "already registered") {
+			t.Fatalf("register %s: %v", sp.Name, err)
+		}
+		points = append(points, CampaignPoint{Scenario: sp.Name, FPR: 4, Seed: 1})
+	}
+	// Duplicate registration is rejected: names key the engine cache.
+	if err := RegisterScenario(specs[0]); err == nil {
+		t.Error("duplicate spec registration accepted")
+	}
+
+	eng := NewEngine(EngineOptions{Workers: 2})
+	res, err := Campaign(context.Background(), eng, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		if o.Err != nil || o.Result == nil || o.Result.Trace.Len() == 0 {
+			t.Fatalf("bad outcome for %s: %+v", o.Point.Scenario, o)
+		}
+	}
+	again, err := Campaign(context.Background(), eng, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheHits != len(points) {
+		t.Errorf("repeat campaign stats = %+v, want all cache hits", again.Stats)
+	}
+	// Generated scenarios resolve through the by-name APIs, and the
+	// registered listing can filter them by tag.
+	if _, err := RunScenario(specs[0].Name, 4, 2); err != nil {
+		t.Errorf("RunScenario on a registered generated spec: %v", err)
+	}
+	found := 0
+	for _, name := range RegisteredScenarios("generated") {
+		for _, sp := range specs {
+			if name == sp.Name {
+				found++
+			}
+		}
+	}
+	if found != len(specs) {
+		t.Errorf("registered listing found %d of %d generated specs", found, len(specs))
+	}
+	// The Table-1 listing stays untouched by registration.
+	if len(Scenarios()) != 9 {
+		t.Errorf("Scenarios() = %d names after registration, want 9", len(Scenarios()))
 	}
 }
 
