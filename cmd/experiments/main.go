@@ -13,6 +13,13 @@
 // -seeds 3 for a quick pass. The corpus sweep generates -corpus
 // scenarios from seed -corpusseed and can additionally include
 // registered scenarios via -tags (e.g. -tags table1 or -tags variant).
+//
+// With -store DIR the run engine gains a persistent tier backed by the
+// content-addressed campaign store: points archived by an earlier
+// invocation (or by `zhuyi record`) load from disk instead of
+// simulating, fresh runs are archived back, and the invocation ends
+// with a fresh/disk/memory stats line — a warm second `-exp table1`
+// run performs zero fresh simulations.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,6 +46,7 @@ func main() {
 		corpusN    = flag.Int("corpus", 20, "corpus sweep: number of generated scenarios")
 		corpusSeed = flag.Int64("corpusseed", 1, "corpus sweep: generator seed")
 		tags       = flag.String("tags", "", "corpus sweep: also include registered scenarios with these comma-separated tags")
+		storeDir   = flag.String("store", "", "persistent run store directory: archived points load from disk instead of simulating, fresh runs are archived back")
 	)
 	flag.Parse()
 
@@ -48,9 +57,27 @@ func main() {
 	// engine — the same one the figure and ablation generators use — so
 	// the cache is shared across every experiment; an explicit -workers
 	// sizes a private pool for the campaign-style experiments instead.
+	// With -store, the engine gains a persistent tier: a second
+	// identical invocation replays entirely from disk and memory,
+	// simulating nothing (the closing stats line shows the split).
 	eng := engine.Default()
-	if *workers > 0 {
-		eng = engine.New(engine.Options{Workers: *workers})
+	if *workers > 0 || *storeDir != "" {
+		opts := engine.Options{Workers: *workers}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer st.Close()
+			opts.Store = st
+		}
+		eng = engine.New(opts)
+		defer func() {
+			s := eng.Stats()
+			fmt.Printf("# engine: %d fresh simulations, %d disk hits, %d memory hits, %d archived, %d failures, %d store errors\n",
+				s.Executed, s.DiskHits, s.CacheHits, s.Archived, s.Failures, s.StoreErrors)
+		}()
 	}
 
 	writeCSV := func(name string, fn func(io.Writer) error) {

@@ -8,11 +8,17 @@
 //	zhuyi scenarios list -tags table1        registered scenario catalog
 //	zhuyi scenarios describe -scenario X     one scenario's spec and compiled geometry
 //	zhuyi scenarios generate -n 50 -seed 1   procedural scenario corpus (validated)
+//	zhuyi record -store DIR -tags table1     archive a corpus of runs into a persistent store
+//	zhuyi replay -store DIR                  re-evaluate archived traces (no simulation)
+//	zhuyi diff -store DIR                    diff a replay against recorded baselines
 //
-// The run-campaign subcommands (mrf, rate) take -workers to size the
-// engine's simulation pool (default: GOMAXPROCS). Scenario names
-// resolve through the registry, so mrf/rate also accept ODD variants
-// (e.g. truck-cut-out) beyond the paper's nine.
+// The run-campaign subcommands (mrf, rate, record) take -workers to
+// size the engine's simulation pool (default: GOMAXPROCS). Scenario
+// names resolve through the registry, so mrf/rate also accept ODD
+// variants (e.g. truck-cut-out) beyond the paper's nine. record
+// archives every fresh run into a content-addressed store and
+// refreshes the replay baselines; diff exits non-zero when any
+// archived run's replay diverges from its baseline.
 package main
 
 import (
@@ -51,6 +57,12 @@ func main() {
 		err = cmdRate(os.Args[2:])
 	case "scenarios":
 		err = cmdScenarios(os.Args[2:])
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -62,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios|record|replay|diff> [flags]")
 }
 
 func cmdEstimate(args []string) error {
@@ -139,12 +151,18 @@ func cmdMRF(args []string) error {
 	name := fs.String("scenario", scenario.CutOut, "scenario name (see 'zhuyi scenarios list')")
 	seeds := fs.Int("seeds", 10, "seeded runs per rate")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	storeDir := fs.String("store", "", "persistent run store: archived points answer from the manifest, fresh runs are archived")
 	fs.Parse(args)
 	sc, ok := scenario.Lookup(*name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
-	eng := engine.New(engine.Options{Workers: *workers})
+	opts, closeStore, err := engineOptions(*storeDir, *workers)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	eng := engine.New(opts)
 	m, err := metrics.FindMRFContext(context.Background(), eng, sc, metrics.DefaultFPRGrid(), *seeds)
 	if err != nil {
 		return err
@@ -167,12 +185,18 @@ func cmdRate(args []string) error {
 	fpr := fs.Float64("fpr", 5, "uniform per-camera frame processing rate")
 	runs := fs.Int("runs", 10, "seeded runs")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	storeDir := fs.String("store", "", "persistent run store: archived points answer from the manifest, fresh runs are archived")
 	fs.Parse(args)
 	sc, ok := scenario.Lookup(*name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
-	eng := engine.New(engine.Options{Workers: *workers})
+	opts, closeStore, err := engineOptions(*storeDir, *workers)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	eng := engine.New(opts)
 	rate, err := metrics.CollisionRateContext(context.Background(), eng, sc, *fpr, *runs)
 	if err != nil {
 		return err

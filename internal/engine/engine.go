@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Runner executes one job. The default runner builds the scenario's
@@ -53,6 +54,14 @@ type Options struct {
 	CacheSize int
 	// Runner executes jobs; nil defaults to DefaultRunner.
 	Runner Runner
+	// Store attaches a persistent cache tier: plain jobs (no Variant,
+	// no Configure, not NoCache) missing the in-memory cache are looked
+	// up on disk before simulating — a hit loads the archived trace
+	// instead of running — and every fresh successful plain run is
+	// archived back (the record hook). Store errors never fail a run:
+	// the point falls through to a fresh simulation and the error is
+	// counted in Stats.StoreErrors. nil disables the tier.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -102,11 +111,46 @@ func (j Job) key() Key {
 	return Key{Scenario: j.Scenario.Name, FPR: j.FPR, Seed: j.Seed, Variant: j.Variant}
 }
 
+// persistable reports whether the job's result may be served from or
+// archived to the persistent store: only plain (scenario, FPR, seed)
+// points qualify — the store key carries no variant, and Configure
+// hooks change the run in ways the key cannot see.
+func (j Job) persistable() bool {
+	return j.Variant == "" && j.Configure == nil && !j.NoCache
+}
+
+// Source says where a job's result came from.
+type Source int
+
+// Result sources, in increasing cheapness.
+const (
+	// SourceFresh — the simulation actually ran.
+	SourceFresh Source = iota
+	// SourceMemory — served from the in-memory cache, or joined an
+	// execution another caller already had in flight.
+	SourceMemory
+	// SourceDisk — loaded from the persistent store; no simulation.
+	SourceDisk
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	default:
+		return "fresh"
+	}
+}
+
 // Outcome pairs a job with its result.
 type Outcome struct {
 	Job    Job
 	Result *sim.Result
-	Cached bool // served from the cache (or joined an in-flight execution)
+	Source Source // fresh simulation, memory cache, or persistent store
+	Cached bool   // Source != SourceFresh (kept for call-site brevity)
 	Err    error
 }
 
@@ -114,7 +158,8 @@ type Outcome struct {
 type CampaignStats struct {
 	Jobs      int // points submitted
 	Executed  int // simulations actually run by this campaign
-	CacheHits int // points served from the cache or a shared in-flight run
+	CacheHits int // points served from the memory cache or a shared in-flight run
+	DiskHits  int // points loaded from the persistent store
 	Failures  int // runs that returned a real error
 	Skipped   int // points cancelled before execution (first-error propagation)
 	Wall      time.Duration
@@ -129,9 +174,12 @@ type BatchResult struct {
 
 // Stats are engine-lifetime counters.
 type Stats struct {
-	Executed  int64 // simulations run
-	CacheHits int64
-	Failures  int64
+	Executed    int64 // simulations run
+	CacheHits   int64 // memory-cache hits (including joined in-flight runs)
+	DiskHits    int64 // persistent-store hits
+	Archived    int64 // fresh runs written to the persistent store
+	Failures    int64
+	StoreErrors int64 // store lookups/archives that failed (runs unaffected)
 }
 
 // entry is a cache slot doubling as the singleflight rendezvous:
@@ -165,15 +213,25 @@ type Engine struct {
 	cache  map[Key]*entry
 	order  []Key // insertion order for FIFO eviction
 
+	// diskSem bounds concurrent persistent-tier artifact loads to the
+	// pool size: disk hits run on the submitting goroutine (RunBatch
+	// spawns one per job), and an unbounded warm campaign would
+	// otherwise decompress and decode hundreds of traces at once.
+	diskSem chan struct{}
+
 	executed  atomic.Int64
 	cacheHits atomic.Int64
+	diskHits  atomic.Int64
+	archived  atomic.Int64
 	failures  atomic.Int64
+	storeErrs atomic.Int64
 }
 
 // New builds an engine. Workers are started lazily on first submission.
 func New(opts Options) *Engine {
 	e := &Engine{opts: opts.withDefaults(), cache: make(map[Key]*entry)}
 	e.cond = sync.NewCond(&e.mu)
+	e.diskSem = make(chan struct{}, e.opts.Workers)
 	return e
 }
 
@@ -196,9 +254,12 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // Stats snapshots the engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Executed:  e.executed.Load(),
-		CacheHits: e.cacheHits.Load(),
-		Failures:  e.failures.Load(),
+		Executed:    e.executed.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		DiskHits:    e.diskHits.Load(),
+		Archived:    e.archived.Load(),
+		Failures:    e.failures.Load(),
+		StoreErrors: e.storeErrs.Load(),
 	}
 }
 
@@ -266,7 +327,65 @@ func (e *Engine) execute(t *task) {
 		e.failures.Add(1)
 	}
 	e.executed.Add(1)
+	if err == nil {
+		// Record hook: archive the fresh run before waiters unblock, so
+		// a campaign that returns is guaranteed to find its runs on disk.
+		e.archive(t.job, res)
+	}
 	e.finish(t, res, err)
+}
+
+// archive writes a fresh successful plain run to the persistent store.
+// Store failures are counted, never propagated: the simulation itself
+// succeeded.
+func (e *Engine) archive(j Job, res *sim.Result) {
+	if e.opts.Store == nil || !j.persistable() || res == nil {
+		return
+	}
+	_, created, err := e.opts.Store.Put(j.Scenario.Name, store.KeyForScenario(j.Scenario, j.FPR, j.Seed), res)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	if created {
+		e.archived.Add(1)
+	}
+}
+
+// Peek returns the persistent store's manifest entry for a plain job
+// without loading or decoding its trace artifact. Campaigns that only
+// need a run's summary — an MRF collision wave reads nothing but the
+// collision outcome — use it to skip both the simulation and the
+// artifact decode; the entry's summary fields are exactly what the
+// full result would report. Peek hits count as disk hits.
+func (e *Engine) Peek(j Job) (store.Entry, bool) {
+	if e.opts.Store == nil || !j.persistable() {
+		return store.Entry{}, false
+	}
+	ent, ok := e.opts.Store.Lookup(store.KeyForScenario(j.Scenario, j.FPR, j.Seed))
+	if ok {
+		e.diskHits.Add(1)
+	}
+	return ent, ok
+}
+
+// storeLookup tries the persistent tier for a plain job. Lookup errors
+// degrade to a miss (the point re-simulates) and are counted.
+func (e *Engine) storeLookup(j Job) (*sim.Result, bool) {
+	if e.opts.Store == nil || !j.persistable() {
+		return nil, false
+	}
+	e.diskSem <- struct{}{}
+	defer func() { <-e.diskSem }()
+	res, ok, err := e.opts.Store.Get(store.KeyForScenario(j.Scenario, j.FPR, j.Seed))
+	if err != nil {
+		e.storeErrs.Add(1)
+		return nil, false
+	}
+	if ok {
+		e.diskHits.Add(1)
+	}
+	return res, ok
 }
 
 // finish publishes the task's outcome. Failures are never cached:
@@ -290,16 +409,18 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// Run executes one job, serving it from the cache when possible. It
-// blocks until the result is available or ctx is cancelled.
+// Run executes one job, serving it from the memory cache or the
+// persistent store when possible. It blocks until the result is
+// available or ctx is cancelled.
 func (e *Engine) Run(ctx context.Context, job Job) (*sim.Result, error) {
 	res, _, err := e.run(ctx, job)
 	return res, err
 }
 
-// run reports whether the result came from the cache (including joining
-// a run another caller already had in flight).
-func (e *Engine) run(ctx context.Context, job Job) (*sim.Result, bool, error) {
+// run reports where the result came from: a fresh simulation, the
+// memory cache (including joining a run another caller already had in
+// flight), or the persistent store.
+func (e *Engine) run(ctx context.Context, job Job) (*sim.Result, Source, error) {
 	e.startWorkers()
 	if job.Configure != nil && job.Variant == "" {
 		// Un-discriminated configured runs would poison the plain run's
@@ -324,30 +445,42 @@ func (e *Engine) run(ctx context.Context, job Job) (*sim.Result, bool, error) {
 				e.order = append(e.order, key)
 				e.evictLocked()
 				e.mu.Unlock()
+				// Persistent tier: a disk hit fills the claimed slot
+				// without simulating; joiners see a plain memory hit.
+				if res, hit := e.storeLookup(job); hit {
+					ent.res = res
+					close(ent.done)
+					return res, SourceDisk, nil
+				}
 				e.enqueue(&task{ctx: ctx, job: job, ent: ent, registered: true})
 				<-ent.done
-				return ent.res, false, ent.err
+				return ent.res, SourceFresh, ent.err
 			}
 			e.mu.Unlock()
 			select {
 			case <-ent.done:
 				if !isCancellation(ent.err) {
 					e.cacheHits.Add(1)
-					return ent.res, true, ent.err
+					return ent.res, SourceMemory, ent.err
 				}
 				// The owner was cancelled before the point ran; loop
 				// and try to claim it ourselves.
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, SourceFresh, ctx.Err()
 			}
 		}
 	}
 
+	// Memory caching disabled: the persistent tier still serves plain
+	// points (NoCache jobs are not persistable and always execute).
+	if res, hit := e.storeLookup(job); hit {
+		return res, SourceDisk, nil
+	}
 	ent := &entry{done: make(chan struct{})}
 	t := &task{ctx: ctx, job: job, ent: ent}
 	e.enqueue(t)
 	<-ent.done
-	return ent.res, false, ent.err
+	return ent.res, SourceFresh, ent.err
 }
 
 // evictLocked drops the oldest completed entries until the cache fits.
@@ -396,8 +529,8 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error)
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			res, cached, err := e.run(bctx, j)
-			outcomes[i] = Outcome{Job: j, Result: res, Cached: cached, Err: err}
+			res, src, err := e.run(bctx, j)
+			outcomes[i] = Outcome{Job: j, Result: res, Source: src, Cached: src != SourceFresh, Err: err}
 			if err != nil && !isCancellation(err) {
 				cancel()
 			}
@@ -410,8 +543,10 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error)
 	var errs []error
 	for _, o := range outcomes {
 		switch {
-		case o.Err == nil && o.Cached:
+		case o.Err == nil && o.Source == SourceMemory:
 			br.Stats.CacheHits++
+		case o.Err == nil && o.Source == SourceDisk:
+			br.Stats.DiskHits++
 		case o.Err == nil:
 			br.Stats.Executed++
 		case isCancellation(o.Err):

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // CorpusOptions scales a corpus sweep: the MRF distribution over N
@@ -33,6 +34,19 @@ type CorpusOptions struct {
 	// Engine schedules and caches every run; nil uses the shared
 	// default engine.
 	Engine *engine.Engine
+	// Store attaches a persistent cache tier when Engine is nil: an
+	// identically parameterized sweep recorded by an earlier process
+	// replays from disk instead of re-simulating. All sweep members —
+	// generated (unregistered) and registered alike — are spec-backed,
+	// so their store keys carry the spec content fingerprint
+	// (Scenario.Fingerprint): a generator change that alters a
+	// member's parameters misses cleanly instead of serving a stale
+	// trace recorded under the same name.
+	Store *store.Store
+
+	// ownEngine marks a private pool built by withDefaults; CorpusSweep
+	// closes it so repeated sweeps don't leak worker goroutines.
+	ownEngine bool
 }
 
 func (o CorpusOptions) withDefaults() CorpusOptions {
@@ -46,7 +60,12 @@ func (o CorpusOptions) withDefaults() CorpusOptions {
 		o.FPRGrid = metrics.DefaultFPRGrid()
 	}
 	if o.Engine == nil {
-		o.Engine = engine.Default()
+		if o.Store != nil {
+			o.Engine = engine.New(engine.Options{Store: o.Store})
+			o.ownEngine = true
+		} else {
+			o.Engine = engine.Default()
+		}
 	}
 	return o
 }
@@ -76,6 +95,9 @@ type CorpusResult struct {
 // explicitly to make a corpus addressable by name afterwards.
 func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) {
 	opt = opt.withDefaults()
+	if opt.ownEngine {
+		defer opt.Engine.Close()
+	}
 
 	type member struct {
 		sc     scenario.Scenario

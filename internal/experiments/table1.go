@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Options controls experiment scale. The zero value is upgraded to the
@@ -30,9 +31,17 @@ type Options struct {
 	// shared default engine (pool sized to GOMAXPROCS).
 	Workers int
 	// Engine schedules and caches every closed-loop run. nil selects
-	// engine.Default() (or a private pool when Workers is set), so
-	// consecutive experiments in one process reuse each other's runs.
+	// engine.Default() (or a private pool when Workers or Store is
+	// set), so consecutive experiments in one process reuse each
+	// other's runs.
 	Engine *engine.Engine
+	// Store attaches a persistent cache tier to the engine built here:
+	// points archived by an earlier process (e.g. `zhuyi record`) load
+	// from disk instead of simulating, and fresh runs are archived
+	// back, so Table-1 and corpus sweeps warm-start across processes.
+	// Ignored when Engine is provided — attach the store to that
+	// engine's Options instead.
+	Store *store.Store
 
 	// ownEngine marks a private pool built by withDefaults; the entry
 	// point that built it closes it, so repeated calls with Workers set
@@ -51,8 +60,8 @@ func (o Options) withDefaults() Options {
 		o.EvalEvery = 0.1
 	}
 	if o.Engine == nil {
-		if o.Workers > 0 {
-			o.Engine = engine.New(engine.Options{Workers: o.Workers})
+		if o.Workers > 0 || o.Store != nil {
+			o.Engine = engine.New(engine.Options{Workers: o.Workers, Store: o.Store})
 			o.ownEngine = true
 		} else {
 			o.Engine = engine.Default()

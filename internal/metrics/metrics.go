@@ -105,14 +105,25 @@ func FindMRFContext(ctx context.Context, eng *engine.Engine, sc scenario.Scenari
 }
 
 // collisionWave runs all seeds of one rate as a single engine campaign
-// and counts collisions.
+// and counts collisions. A wave needs nothing but each run's collision
+// outcome, so points archived in the engine's persistent store are
+// answered from the manifest summary alone — no simulation and no
+// trace decode; only the points the store has never seen are
+// scheduled.
 func collisionWave(ctx context.Context, eng *engine.Engine, sc scenario.Scenario, fpr float64, seeds int) (int, error) {
+	collided := 0
 	jobs := make([]engine.Job, 0, seeds)
 	for s := 1; s <= seeds; s++ {
-		jobs = append(jobs, engine.Job{Scenario: sc, FPR: fpr, Seed: int64(s)})
+		j := engine.Job{Scenario: sc, FPR: fpr, Seed: int64(s)}
+		if e, ok := eng.Peek(j); ok {
+			if e.Collision != nil {
+				collided++
+			}
+			continue
+		}
+		jobs = append(jobs, j)
 	}
 	batch, batchErr := eng.RunBatch(ctx, jobs)
-	collided := 0
 	var errs []error
 	for _, o := range batch.Outcomes {
 		switch {

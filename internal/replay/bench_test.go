@@ -1,0 +1,161 @@
+package replay
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// benchScenario is a fixed, collision-free Table-1 point so every
+// iteration does the same work.
+const (
+	benchFPR  = 30.0
+	benchSeed = int64(1)
+)
+
+func benchRecordedStore(b *testing.B, seeds int) (*store.Store, scenario.Scenario, []engine.Job) {
+	b.Helper()
+	sc, ok := scenario.Lookup(scenario.CutOut)
+	if !ok {
+		b.Fatal("cut-out not registered")
+	}
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	var jobs []engine.Job
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		jobs = append(jobs, engine.Job{Scenario: sc, FPR: benchFPR, Seed: seed})
+	}
+	eng := engine.New(engine.Options{Store: st})
+	defer eng.Close()
+	if _, err := eng.RunBatch(context.Background(), jobs); err != nil {
+		b.Fatal(err)
+	}
+	return st, sc, jobs
+}
+
+// BenchmarkReplayVsSimulate is the headline speed claim of the replay
+// harness: re-deriving a run's regression summary from its archived
+// trace versus re-simulating the point from scratch.
+func BenchmarkReplayVsSimulate(b *testing.B) {
+	b.Run("Simulate", func(b *testing.B) {
+		sc, _ := scenario.Lookup(scenario.CutOut)
+		for i := 0; i < b.N; i++ {
+			if _, err := metrics.RunScenario(sc, benchFPR, benchSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Replay", func(b *testing.B) {
+		st, _, _ := benchRecordedStore(b, 1)
+		entry := st.Entries()[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := st.Trace(entry)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Summarize(entry, tr, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DiskLoad", func(b *testing.B) {
+		st, _, _ := benchRecordedStore(b, 1)
+		key := store.KeyFor(scenario.CutOut, benchFPR, benchSeed)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := st.Get(key); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}
+
+// BenchmarkMRFSearch measures a full minimum-required-FPR search cold
+// (every point simulated) versus against a warm store, where collision
+// waves answer from the manifest summary alone — no simulation and no
+// trace decode.
+func BenchmarkMRFSearch(b *testing.B) {
+	const seeds = 2
+	sc, _ := scenario.Lookup(scenario.CutOut)
+	grid := metrics.DefaultFPRGrid()
+	b.Run("ColdSimulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{})
+			if _, err := metrics.FindMRFContext(context.Background(), eng, sc, grid, seeds); err != nil {
+				b.Fatal(err)
+			}
+			eng.Close()
+		}
+	})
+	b.Run("WarmManifest", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		warm := engine.New(engine.Options{Store: st})
+		if _, err := metrics.FindMRFContext(context.Background(), warm, sc, grid, seeds); err != nil {
+			b.Fatal(err)
+		}
+		warm.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Store: st})
+			m, err := metrics.FindMRFContext(context.Background(), eng, sc, grid, seeds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Value != 2 {
+				b.Fatalf("MRF = %v, want 2", m.Value)
+			}
+			eng.Close()
+		}
+	})
+}
+
+// BenchmarkPersistentWarmStart measures a whole campaign against a
+// warm store on a cold engine (every point a disk hit) versus the same
+// campaign simulated fresh — the cross-process warm-start the store
+// exists for.
+func BenchmarkPersistentWarmStart(b *testing.B) {
+	const seeds = 4
+	b.Run("ColdSimulate", func(b *testing.B) {
+		sc, _ := scenario.Lookup(scenario.CutOut)
+		var jobs []engine.Job
+		for seed := int64(1); seed <= seeds; seed++ {
+			jobs = append(jobs, engine.Job{Scenario: sc, FPR: benchFPR, Seed: seed})
+		}
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{})
+			if _, err := eng.RunBatch(context.Background(), jobs); err != nil {
+				b.Fatal(err)
+			}
+			eng.Close()
+		}
+	})
+	b.Run("WarmDisk", func(b *testing.B) {
+		st, _, jobs := benchRecordedStore(b, seeds)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A new engine per iteration: the memory cache starts empty,
+			// so every point exercises the persistent tier.
+			eng := engine.New(engine.Options{Store: st})
+			br, err := eng.RunBatch(context.Background(), jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if br.Stats.DiskHits != len(jobs) {
+				b.Fatalf("stats = %+v, want all disk hits", br.Stats)
+			}
+			eng.Close()
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SpecFingerprint returns a stable content hash of a declarative spec:
+// the SHA-256 of its canonical JSON encoding. Two specs fingerprint
+// equally iff every declared field — name, road geometry, ego speed,
+// actors, triggers, jitter declarations — is identical, which is
+// exactly the condition under which a (FPR, seed) compilation produces
+// the same simulator configuration (the name included: it becomes the
+// trace's scenario metadata). The persistent run store keys archived
+// traces on this value, so any spec edit cleanly invalidates its
+// artifacts instead of serving stale runs.
+func SpecFingerprint(sp Spec) string {
+	// Spec is pure data (no closures), and encoding/json emits struct
+	// fields in declaration order, so the encoding is canonical.
+	b, err := json.Marshal(sp)
+	if err != nil {
+		// Spec contains only plain scalars, strings, and slices; this is
+		// unreachable short of memory corruption.
+		panic(fmt.Sprintf("scenario: fingerprint %s: %v", sp.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint returns the identity hash of a registered scenario name.
+// Scenarios registered from a declarative spec fingerprint by content
+// (SpecFingerprint); scenarios registered from an opaque Build closure
+// fall back to a hash of the name, which is still unique within one
+// registry but cannot detect parameter drift.
+func (r *Registry) Fingerprint(name string) string {
+	if sp, ok := r.SpecOf(name); ok {
+		return SpecFingerprint(sp)
+	}
+	sum := sha256.Sum256([]byte("scenario-name\x00" + name))
+	return hex.EncodeToString(sum[:])
+}
+
+// FingerprintOf is Registry.Fingerprint on the default registry.
+func FingerprintOf(name string) string { return Default().Fingerprint(name) }

@@ -67,6 +67,13 @@ type Scenario struct {
 	// Build returns a simulator configuration for one seeded run at the
 	// given uniform per-camera frame processing rate.
 	Build func(fpr float64, seed int64) sim.Config
+	// Fingerprint is the content hash of the declarative spec this
+	// scenario was built from (SpecFingerprint), empty for opaque
+	// Build closures. The persistent store keys on it, so spec-backed
+	// scenarios — registered or not, generated corpora included — are
+	// content-addressed: any parameter change invalidates their
+	// archived runs instead of serving stale traces.
+	Fingerprint string
 }
 
 // All returns the nine Table-1 scenarios in the paper's order, from the

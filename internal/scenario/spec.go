@@ -350,7 +350,8 @@ func (ad ActionDef) build(ev *evaluator, where string, egoSpeed float64) behavio
 }
 
 // Scenario wraps the spec as a registrable Scenario whose Build
-// compiles the spec.
+// compiles the spec; the scenario carries the spec's content
+// fingerprint so persistent-store keys survive without a registry.
 func (sp Spec) Scenario() Scenario {
 	return Scenario{
 		Name:          sp.Name,
@@ -360,6 +361,7 @@ func (sp Spec) Scenario() Scenario {
 		RightActivity: sp.Right,
 		LeftActivity:  sp.Left,
 		Build:         func(fpr float64, seed int64) sim.Config { return sp.Compile(fpr, seed) },
+		Fingerprint:   SpecFingerprint(sp),
 	}
 }
 

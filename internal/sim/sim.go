@@ -26,6 +26,14 @@ import (
 	"repro/internal/world"
 )
 
+// Version identifies the simulator's behavioral revision. The
+// persistent run store keys archived traces on it, so any change to
+// simulation semantics (integration step, perception model, planner
+// defaults, collision handling) must bump it — otherwise replay would
+// diff traces recorded under different dynamics and report false
+// divergences (or, worse, serve stale disk results as cache hits).
+const Version = "sim-v1"
+
 // ActorSpec describes one scripted actor.
 type ActorSpec struct {
 	ID     string
@@ -186,14 +194,22 @@ func Run(cfg Config) (*Result, error) {
 			nextRateUpdate = t + cfg.RateEpoch
 		}
 
-		// Record.
+		// Record. Per-row rates only exist under dynamic rate control;
+		// fixed-rate runs leave Rates nil and readers fall back to
+		// Meta.FPR (trace.OperatingRate). Recording the identical map on
+		// every row would bloat each archived trace by thousands of
+		// redundant entries and dominate replay decode time.
+		var rowRates map[string]float64
+		if cfg.RateController != nil {
+			rowRates = snapshotRates(rates)
+		}
 		tr.Rows = append(tr.Rows, trace.Row{
 			Time:     t,
 			Ego:      egoAgent,
 			Actors:   actorAgents,
 			CmdAccel: appliedAccel,
 			AEB:      dec.AEB,
-			Rates:    snapshotRates(rates),
+			Rates:    rowRates,
 		})
 
 		// Advance dynamics.

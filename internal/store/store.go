@@ -1,0 +1,428 @@
+// Package store is the persistent campaign store: a content-addressed
+// on-disk archive of simulation runs. The paper's pre-deployment flow
+// is built on collected scenario traces (§3.1); this package makes the
+// repo's traces durable artifacts instead of process-lifetime cache
+// entries, so corpora generated once are replayed — not re-simulated —
+// by every later process (warm-started Table-1 sweeps, the
+// differential replay harness in internal/replay, CI regression jobs).
+//
+// # Layout
+//
+// A store is a directory:
+//
+//	<dir>/manifest.jsonl           append-only index, one JSON entry per line
+//	<dir>/objects/<aa>/<hash>.jsonl.gz   gzip JSONL trace artifacts
+//
+// Artifacts are content-addressed: <hash> is the SHA-256 of the
+// uncompressed trace serialization (trace.Trace.Write), and <aa> its
+// first two hex digits. Identical traces recorded under different keys
+// share one object. The manifest maps a Key — scenario spec
+// fingerprint, FPR, seed, simulator version — to its artifact hash
+// plus the run summary needed to reconstruct a sim.Result without
+// re-simulating (collision, frames processed, min bumper gap, ego
+// stopped).
+//
+// Keying on the spec fingerprint rather than the scenario name means a
+// renamed scenario keeps its artifacts while any parameter edit — or a
+// simulator semantics bump (sim.Version) — cleanly misses, never
+// serving a trace recorded under different dynamics.
+//
+// A Store is safe for concurrent use; manifest appends are
+// single-writes of one line, so concurrent recorder processes
+// interleave without tearing entries (a torn final line from a crashed
+// writer is tolerated and dropped on load).
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Key identifies one archived run: the scenario's content fingerprint
+// (scenario.FingerprintOf), the uniform frame processing rate, the
+// noise seed, and the simulator version the trace was recorded under.
+type Key struct {
+	Fingerprint string  `json:"fp"`
+	FPR         float64 `json:"fpr"`
+	Seed        int64   `json:"seed"`
+	SimVersion  string  `json:"sim"`
+}
+
+// KeyFor builds the store key of a (scenario, FPR, seed) point under
+// the current simulator version, fingerprinting the scenario through
+// the default registry.
+func KeyFor(scenarioName string, fpr float64, seed int64) Key {
+	return Key{
+		Fingerprint: scenario.FingerprintOf(scenarioName),
+		FPR:         fpr,
+		Seed:        seed,
+		SimVersion:  sim.Version,
+	}
+}
+
+// KeyForScenario is KeyFor with the scenario value in hand: it prefers
+// the scenario's own spec fingerprint, which exists even for
+// unregistered spec-backed scenarios (generated corpus members), so
+// their archived runs are content-addressed too — a generator change
+// that alters a member's parameters misses cleanly instead of hitting
+// a stale trace recorded under the same name.
+func KeyForScenario(sc scenario.Scenario, fpr float64, seed int64) Key {
+	if sc.Fingerprint == "" {
+		return KeyFor(sc.Name, fpr, seed)
+	}
+	return Key{Fingerprint: sc.Fingerprint, FPR: fpr, Seed: seed, SimVersion: sim.Version}
+}
+
+// Entry is one manifest record: a key, its artifact, and the run
+// summary that together with the trace reconstructs the sim.Result.
+type Entry struct {
+	Key      Key    `json:"key"`
+	Scenario string `json:"scenario"` // registration name at record time
+	Artifact string `json:"artifact"` // SHA-256 of the uncompressed trace JSONL
+	Rows     int    `json:"rows"`
+	Bytes    int64  `json:"bytes"` // uncompressed artifact size
+
+	Collision       *trace.Collision `json:"collision,omitempty"`
+	FramesProcessed map[string]int   `json:"frames_processed"`
+	// MinBumperGap mirrors sim.Result.MinBumperGap; +Inf (no in-corridor
+	// approach) is not representable in JSON, so it is flagged instead.
+	MinBumperGap   float64 `json:"min_bumper_gap"`
+	MinGapInfinite bool    `json:"min_gap_infinite,omitempty"`
+	EgoStopped     bool    `json:"ego_stopped,omitempty"`
+
+	RecordedUnix int64 `json:"recorded_unix"`
+}
+
+// Store is an open campaign store. Construct with Open.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	index    map[Key]Entry
+	order    []Key // first-recorded order, deduplicated
+	manifest *os.File
+}
+
+// Open opens (creating if needed) the store rooted at dir and loads
+// its manifest index into memory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, index: make(map[Key]Entry)}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.manifest = f
+	return s, nil
+}
+
+// Close releases the manifest handle. Reads of already-loaded entries
+// keep working; Put fails after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return nil
+	}
+	err := s.manifest.Close()
+	s.manifest = nil
+	return err
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.jsonl") }
+
+// ObjectPath returns the on-disk path of an artifact hash.
+func (s *Store) ObjectPath(hash string) string {
+	prefix := "00"
+	if len(hash) >= 2 {
+		prefix = hash[:2]
+	}
+	return filepath.Join(s.dir, "objects", prefix, hash+".jsonl.gz")
+}
+
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn final line is the signature of a crashed appender;
+			// drop it. Corruption anywhere else is a real error.
+			if i == len(lines)-1 {
+				break
+			}
+			return fmt.Errorf("store: manifest line %d: %w", i+1, err)
+		}
+		s.addLocked(e)
+	}
+	return nil
+}
+
+// addLocked inserts an entry into the in-memory index; later manifest
+// lines for the same key win (re-records supersede).
+func (s *Store) addLocked(e Entry) {
+	if _, ok := s.index[e.Key]; !ok {
+		s.order = append(s.order, e.Key)
+	}
+	s.index[e.Key] = e
+}
+
+// Len reports the number of distinct keys in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Lookup returns the manifest entry for a key without touching the
+// artifact.
+func (s *Store) Lookup(k Key) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[k]
+	return e, ok
+}
+
+// Entries returns every manifest entry sorted by (scenario, FPR, seed,
+// sim version) — a stable order for reports and baselines.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.index))
+	for _, k := range s.order {
+		out = append(out, s.index[k])
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Key.FPR != b.Key.FPR {
+			return a.Key.FPR < b.Key.FPR
+		}
+		if a.Key.Seed != b.Key.Seed {
+			return a.Key.Seed < b.Key.Seed
+		}
+		return a.Key.SimVersion < b.Key.SimVersion
+	})
+	return out
+}
+
+// Put archives a run under the key, returning its manifest entry and
+// whether anything was written. Put is idempotent: a key already
+// present returns its existing entry untouched (created == false),
+// and identical traces under different keys share one
+// content-addressed object. If the key exists but its object file has
+// vanished (partial cleanup, a crashed recorder's debris removal),
+// Put self-heals by rewriting the object — runs are deterministic, so
+// the fresh result must reproduce the recorded artifact hash; a
+// mismatch is reported instead of silently masking semantics drift.
+func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, error) {
+	if res == nil || res.Trace == nil {
+		return Entry{}, false, fmt.Errorf("store: put %s: nil result or trace", scenarioName)
+	}
+	s.mu.Lock()
+	existing, exists := s.index[k]
+	closed := s.manifest == nil
+	s.mu.Unlock()
+	if exists {
+		if _, err := os.Stat(s.ObjectPath(existing.Artifact)); err == nil {
+			return existing, false, nil
+		}
+		buf, hash, err := serializeTrace(scenarioName, res)
+		if err != nil {
+			return existing, false, err
+		}
+		if hash != existing.Artifact {
+			return existing, false, fmt.Errorf(
+				"store: put %s: artifact %s is missing and the fresh run hashes to %s — simulator semantics drifted without a sim.Version bump?",
+				scenarioName, existing.Artifact, hash)
+		}
+		if err := s.writeObject(hash, buf); err != nil {
+			return existing, false, err
+		}
+		return existing, true, nil
+	}
+	if closed {
+		return Entry{}, false, fmt.Errorf("store: put %s: store closed", scenarioName)
+	}
+
+	buf, hash, err := serializeTrace(scenarioName, res)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if err := s.writeObject(hash, buf); err != nil {
+		return Entry{}, false, err
+	}
+
+	e := Entry{
+		Key:             k,
+		Scenario:        scenarioName,
+		Artifact:        hash,
+		Rows:            res.Trace.Len(),
+		Bytes:           int64(len(buf)),
+		Collision:       res.Collision,
+		FramesProcessed: res.FramesProcessed,
+		MinBumperGap:    res.MinBumperGap,
+		EgoStopped:      res.EgoStopped,
+		RecordedUnix:    time.Now().Unix(),
+	}
+	if math.IsInf(e.MinBumperGap, 1) {
+		e.MinBumperGap, e.MinGapInfinite = 0, true
+	}
+	if e.FramesProcessed == nil {
+		e.FramesProcessed = map[string]int{}
+	}
+
+	line, err := json.Marshal(e)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("store: put %s: %w", scenarioName, err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.index[k]; ok {
+		// Lost the race to a concurrent recorder of the same point; the
+		// object write above was idempotent, so just adopt its entry.
+		return prev, false, nil
+	}
+	if s.manifest == nil {
+		return Entry{}, false, fmt.Errorf("store: put %s: store closed", scenarioName)
+	}
+	if _, err := s.manifest.Write(line); err != nil {
+		return Entry{}, false, fmt.Errorf("store: put %s: %w", scenarioName, err)
+	}
+	s.addLocked(e)
+	return e, true, nil
+}
+
+// serializeTrace renders the result's trace to its canonical JSONL
+// bytes and content hash.
+func serializeTrace(scenarioName string, res *sim.Result) ([]byte, string, error) {
+	var buf bytes.Buffer
+	if err := res.Trace.Write(&buf); err != nil {
+		return nil, "", fmt.Errorf("store: put %s: %w", scenarioName, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return buf.Bytes(), hex.EncodeToString(sum[:]), nil
+}
+
+// writeObject stores the gzip-compressed artifact atomically (write to
+// a temp file, rename into place); an existing object is reused.
+func (s *Store) writeObject(hash string, raw []byte) error {
+	path := s.ObjectPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+hash+"-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	// BestSpeed: archiving rides on the simulation hot path (the
+	// engine's record hook), and trace JSON compresses well at any
+	// level; default compression costs ~3x the CPU for a few percent
+	// smaller artifacts.
+	zw, _ := gzip.NewWriterLevel(tmp, gzip.BestSpeed)
+	if _, err := zw.Write(raw); err == nil {
+		err = zw.Close()
+	} else {
+		zw.Close()
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write object %s: %w", hash, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: write object %s: %w", hash, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: write object %s: %w", hash, err)
+	}
+	return nil
+}
+
+// Trace loads and parses an entry's artifact.
+func (s *Store) Trace(e Entry) (*trace.Trace, error) {
+	f, err := os.Open(s.ObjectPath(e.Artifact))
+	if err != nil {
+		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+	}
+	defer zr.Close()
+	tr, err := trace.Read(zr)
+	if err != nil {
+		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+	}
+	return tr, nil
+}
+
+// Get reconstructs the archived sim.Result for a key: the parsed trace
+// plus the manifest's run summary. It reports (nil, false, nil) on a
+// clean miss; a present key whose artifact cannot be read is an error.
+// The reconstruction is deep-equal to the result a fresh simulation of
+// the same point produces (the engine's persistent-tier equivalence
+// test pins this).
+func (s *Store) Get(k Key) (*sim.Result, bool, error) {
+	e, ok := s.Lookup(k)
+	if !ok {
+		return nil, false, nil
+	}
+	tr, err := s.Trace(e)
+	if err != nil {
+		return nil, false, err
+	}
+	res := &sim.Result{
+		Trace:           tr,
+		Collision:       tr.Collision,
+		FramesProcessed: e.FramesProcessed,
+		MinBumperGap:    e.MinBumperGap,
+		EgoStopped:      e.EgoStopped,
+	}
+	if res.FramesProcessed == nil {
+		res.FramesProcessed = map[string]int{}
+	}
+	if e.MinGapInfinite {
+		res.MinBumperGap = math.Inf(1)
+	}
+	return res, true, nil
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives the JSONL parser with arbitrary bytes: malformed
+// input must produce an error, never a panic, and anything Read
+// accepts must survive a write→read round trip (the parsed form is
+// canonical).
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleTrace().Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"meta":{"scenario":"x","fpr":10}}`))
+	f.Add([]byte(`{"meta":{}}` + "\n" + `{"t":0.5,"ego":{"ID":"ego"}}`))
+	f.Add([]byte(`{"meta":{}}` + "\n" + `{bad json`))
+	f.Add([]byte(`null` + "\n" + `null`))
+	f.Add([]byte(`{"meta":{"cameras":["a"]},"collision":{"time":1,"actor_id":"x"}}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed row count: %d -> %d", tr.Len(), tr2.Len())
+		}
+		if (tr.Collision == nil) != (tr2.Collision == nil) {
+			t.Fatal("round trip changed collision presence")
+		}
+	})
+}

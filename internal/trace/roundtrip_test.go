@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/world"
+)
+
+// randomTrace generates a structurally varied trace: optional
+// collision, per-row actor sets that appear and vanish, optional rate
+// maps, and sub-sampled rows — the shapes the store round-trips.
+func randomTrace(rng *rand.Rand, rows int) *Trace {
+	tr := &Trace{Meta: Meta{
+		Scenario: fmt.Sprintf("gen-%d", rng.Intn(1000)),
+		FPR:      []float64{1, 7.5, 30}[rng.Intn(3)],
+		Seed:     rng.Int63n(1 << 40),
+		Dt:       0.01,
+		Cameras:  []string{"front120", "front60", "left", "right", "rear"}[:1+rng.Intn(5)],
+	}}
+	if rng.Intn(3) == 0 {
+		tr.Collision = &Collision{Time: rng.Float64() * 30, ActorID: "a0"}
+	}
+	for i := 0; i < rows; i++ {
+		row := Row{
+			Time: float64(i) * 0.01,
+			Ego: world.Agent{
+				ID:   world.EgoID,
+				Pose: geom.Pose{Pos: geom.V(rng.NormFloat64()*100, rng.NormFloat64()*4), Heading: rng.Float64()},
+				Speed: rng.Float64() * 40, Accel: rng.NormFloat64() * 3,
+				LatVel: rng.NormFloat64(), Length: 4.6, Width: 1.9, Lane: rng.Intn(3),
+			},
+			CmdAccel: rng.NormFloat64() * 5,
+			AEB:      rng.Intn(10) == 0,
+		}
+		for a := 0; a < rng.Intn(4); a++ {
+			row.Actors = append(row.Actors, world.Agent{
+				ID:   fmt.Sprintf("a%d", a),
+				Pose: geom.Pose{Pos: geom.V(rng.NormFloat64()*200, rng.NormFloat64()*8)},
+				Speed: rng.Float64() * 30, Length: 4.6, Width: 1.9,
+				Static: rng.Intn(5) == 0,
+			})
+		}
+		if rng.Intn(2) == 0 {
+			row.Rates = map[string]float64{}
+			for _, cam := range tr.Meta.Cameras {
+				row.Rates[cam] = 1 + rng.Float64()*29
+			}
+		}
+		tr.Rows = append(tr.Rows, row)
+	}
+	return tr
+}
+
+// TestPropertyWriteReadRoundTrip: Write → Read must reproduce the
+// trace exactly (deep equality) across generated shapes.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		tr := randomTrace(rng, rng.Intn(120))
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("trial %d: round trip not identical\n got meta %+v (%d rows)\nwant meta %+v (%d rows)",
+				trial, got.Meta, got.Len(), tr.Meta, tr.Len())
+		}
+	}
+}
+
+// bigRowTrace builds a trace whose single row serializes past the
+// given size, by padding actor IDs.
+func bigRowTrace(targetBytes int) *Trace {
+	tr := &Trace{Meta: Meta{Scenario: "big", FPR: 30, Dt: 0.01, Cameras: []string{"front120"}}}
+	row := Row{Time: 0, Ego: world.Agent{ID: world.EgoID, Length: 4.6, Width: 1.9}}
+	id := strings.Repeat("x", 1024)
+	// Each actor serializes to a bit over 1 KiB thanks to the padded ID.
+	for i := 0; i*1024 < targetBytes; i++ {
+		row.Actors = append(row.Actors, world.Agent{
+			ID: fmt.Sprintf("%s-%d", id, i), Length: 4.6, Width: 1.9,
+		})
+	}
+	tr.Rows = append(tr.Rows, row)
+	return tr
+}
+
+// TestRoundTripExceedsInitialScannerBuffer pins that rows larger than
+// the scanner's 1 MiB initial buffer (but under its 16 MiB cap) still
+// round-trip exactly.
+func TestRoundTripExceedsInitialScannerBuffer(t *testing.T) {
+	tr := bigRowTrace(3 << 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 3<<20 {
+		t.Fatalf("big row only %d bytes; test no longer exercises buffer growth", buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read of %d-byte trace: %v", buf.Len(), err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("big-row round trip not identical")
+	}
+}
+
+// TestReadRejectsOversizedRow pins the scanner's upper bound: a row
+// past the 16 MiB cap must error (bufio.ErrTooLong), not hang or
+// panic.
+func TestReadRejectsOversizedRow(t *testing.T) {
+	tr := bigRowTrace(17 << 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(&buf)
+	if err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("err = %v, want bufio.ErrTooLong", err)
+	}
+}

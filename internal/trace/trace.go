@@ -37,12 +37,15 @@ type Collision struct {
 
 // Row is one recorded time-step.
 type Row struct {
-	Time     float64            `json:"t"`
-	Ego      world.Agent        `json:"ego"`
-	Actors   []world.Agent      `json:"actors"`
-	CmdAccel float64            `json:"cmd_accel"`
-	AEB      bool               `json:"aeb,omitempty"`
-	Rates    map[string]float64 `json:"rates,omitempty"` // operating FPR per camera
+	Time     float64       `json:"t"`
+	Ego      world.Agent   `json:"ego"`
+	Actors   []world.Agent `json:"actors"`
+	CmdAccel float64       `json:"cmd_accel"`
+	AEB      bool          `json:"aeb,omitempty"`
+	// Rates is the operating FPR per camera. It is recorded only under
+	// dynamic rate control; fixed-rate runs omit it and Meta.FPR
+	// applies to every camera (see OperatingRate).
+	Rates map[string]float64 `json:"rates,omitempty"`
 }
 
 // Trace is a recorded scenario execution.
@@ -167,6 +170,18 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: scan: %w", err)
 	}
 	return tr, nil
+}
+
+// OperatingRate returns the FPR a camera was running at during row i:
+// the row's recorded rate under dynamic rate control, or the uniform
+// configured rate (Meta.FPR) for fixed-rate runs.
+func (tr *Trace) OperatingRate(i int, camera string) float64 {
+	if i >= 0 && i < len(tr.Rows) {
+		if r, ok := tr.Rows[i].Rates[camera]; ok {
+			return r
+		}
+	}
+	return tr.Meta.FPR
 }
 
 // IndexAt returns the row index of the last row with Time <= t (or 0).

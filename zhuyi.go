@@ -81,6 +81,7 @@ import (
 	"repro/internal/safety"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -211,16 +212,29 @@ type (
 	// Engine is the concurrent run engine: one scheduler and one result
 	// cache shared by every campaign submitted to it.
 	Engine = engine.Engine
-	// EngineOptions sizes the worker pool and the result cache.
+	// EngineOptions sizes the worker pool and the result cache, and
+	// optionally attaches a persistent RunStore (the Store field) so
+	// campaigns warm-start from runs archived by earlier processes.
 	EngineOptions = engine.Options
-	// CampaignStats summarizes a campaign: points executed, cache hits,
-	// failures, skipped points, wall time.
+	// CampaignStats summarizes a campaign: points executed, memory and
+	// disk cache hits, failures, skipped points, wall time.
 	CampaignStats = engine.CampaignStats
+	// RunStore is the content-addressed on-disk campaign store: gzip
+	// JSONL trace artifacts plus a manifest keyed by (scenario spec
+	// fingerprint, FPR, seed, sim version). See internal/store.
+	RunStore = store.Store
 )
 
 // NewEngine builds a private run engine. Most callers can pass nil to
 // Campaign instead and share the process-wide engine.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// OpenStore opens (creating if needed) a persistent run store rooted
+// at dir. Attach it to an engine via EngineOptions.Store: archived
+// points then load from disk instead of simulating, and every fresh
+// run is archived back. The `zhuyi record|replay|diff` subcommands
+// build a differential regression workflow on the same store.
+func OpenStore(dir string) (*RunStore, error) { return store.Open(dir) }
 
 // CampaignPoint names one seeded closed-loop run.
 type CampaignPoint struct {

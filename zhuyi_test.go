@@ -180,3 +180,36 @@ func TestDefaultParamsFacade(t *testing.T) {
 		t.Errorf("params = %+v", p)
 	}
 }
+
+func TestCampaignWarmStoreFacade(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	points := []CampaignPoint{
+		{Scenario: ScenarioCutOut, FPR: 30, Seed: 1},
+		{Scenario: ScenarioCutOut, FPR: 30, Seed: 2},
+	}
+	cold, err := Campaign(context.Background(), NewEngine(EngineOptions{Store: st}), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Executed != len(points) {
+		t.Fatalf("cold stats = %+v", cold.Stats)
+	}
+	// A fresh engine over the same store: the campaign must replay from
+	// disk without simulating anything.
+	warm, err := Campaign(context.Background(), NewEngine(EngineOptions{Store: st}), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Executed != 0 || warm.Stats.DiskHits != len(points) {
+		t.Fatalf("warm stats = %+v, want all disk hits", warm.Stats)
+	}
+	for i := range points {
+		if warm.Outcomes[i].Result.Collided() != cold.Outcomes[i].Result.Collided() {
+			t.Fatalf("point %d outcome changed across the store round trip", i)
+		}
+	}
+}
