@@ -1,0 +1,209 @@
+// Command doclint enforces this repository's documentation
+// conventions, stdlib-only (the CI image deliberately carries no
+// external linters, so the revive/golangci-lint "package-comments" and
+// "exported" rules are reimplemented here):
+//
+//   - every package must have a package doc comment ("// Package x ..."
+//     on one of its files, or "// Command x ..." for package main);
+//   - every exported top-level identifier in a library package —
+//     funcs, methods on exported receivers, types, consts, vars — must
+//     have a doc comment (a grouped const/var/type block may document
+//     the block instead of each name).
+//
+// Test files are exempt. Usage:
+//
+//	go run ./cmd/doclint ./...
+//
+// doclint walks the module from the current directory, prints one
+// "path: finding" line per violation, and exits non-zero when any is
+// found — CI runs it as the doc-lint job.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 && os.Args[1] != "./..." {
+		root = strings.TrimSuffix(os.Args[1], "/...")
+	}
+	findings, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: ok")
+}
+
+// lintTree lints every Go package directory under root, skipping
+// hidden directories and testdata.
+func lintTree(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		matches, _ := filepath.Glob(filepath.Join(path, "*.go"))
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// lintDir lints one package directory.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var findings []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		findings = append(findings, lintPackage(fset, dir, name, pkg)...)
+	}
+	return findings, nil
+}
+
+func lintPackage(fset *token.FileSet, dir, name string, pkg *ast.Package) []string {
+	var findings []string
+	hasPkgDoc := false
+	for _, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc {
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+	}
+	if name == "main" {
+		// Binaries document themselves with the package comment; their
+		// internals are not an API surface.
+		return findings
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			findings = append(findings, lintDecl(fset, decl)...)
+		}
+	}
+	return findings
+}
+
+// lintDecl reports exported top-level identifiers without doc comments.
+func lintDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var findings []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || hasDoc(d.Doc) {
+			return nil
+		}
+		if d.Recv != nil && !receiverExported(d.Recv) {
+			return nil // method on an unexported type: not API surface
+		}
+		kind := "function"
+		if d.Recv != nil {
+			kind = "method"
+		}
+		report(d.Pos(), kind, d.Name.Name)
+	case *ast.GenDecl:
+		blockDoc := hasDoc(d.Doc)
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !blockDoc && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if blockDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						report(n.Pos(), kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

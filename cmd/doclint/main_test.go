@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintTreeFindsViolations: the linter must fire on the fixture's
+// missing package comment and undocumented exported identifiers, and
+// stay silent about unexported or documented ones.
+func TestLintTreeFindsViolations(t *testing.T) {
+	findings, err := lintTree("testdata/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"has no package comment",
+		"exported function Exported",
+		"exported type Thing",
+		"exported method Method",
+		"exported const Answer",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q:\n%s", want, joined)
+		}
+	}
+	for _, wantAbsent := range []string{"unexported", "Documented"} {
+		if strings.Contains(joined, wantAbsent) {
+			t.Errorf("findings wrongly include %q:\n%s", wantAbsent, joined)
+		}
+	}
+	if len(findings) != 5 {
+		t.Errorf("%d findings, want 5:\n%s", len(findings), joined)
+	}
+}
+
+// TestLintTreeCleanOnRepo: the repository itself must stay clean —
+// this is the doc-lint gate run as a plain test too.
+func TestLintTreeCleanOnRepo(t *testing.T) {
+	findings, err := lintTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}

@@ -1,0 +1,17 @@
+package bad
+
+func Exported() {}
+
+type Thing struct{}
+
+func (t Thing) Method() {}
+
+// WellCommented has a doc comment and must not be reported.
+func (t Thing) WellCommented() {}
+
+const Answer = 42
+
+// Documented has a comment.
+var Documented = 1
+
+func unexported() {}

@@ -11,14 +11,19 @@
 //	zhuyi record -store DIR -tags table1     archive a corpus of runs into a persistent store
 //	zhuyi replay -store DIR                  re-evaluate archived traces (no simulation)
 //	zhuyi diff -store DIR                    diff a replay against recorded baselines
+//	zhuyi campaign -fprs 5,30 -seeds 3       batch of seeded runs, local or -server URL
+//	zhuyi serve -addr :8080 -store DIR       the HTTP campaign service (see docs/api.md)
 //
-// The run-campaign subcommands (mrf, rate, record) take -workers to
-// size the engine's simulation pool (default: GOMAXPROCS). Scenario
-// names resolve through the registry, so mrf/rate also accept ODD
-// variants (e.g. truck-cut-out) beyond the paper's nine. record
-// archives every fresh run into a content-addressed store and
-// refreshes the replay baselines; diff exits non-zero when any
-// archived run's replay diverges from its baseline.
+// The run-campaign subcommands (mrf, rate, record, campaign, serve)
+// take -workers to size the engine's simulation pool (default:
+// GOMAXPROCS). Scenario names resolve through the registry, so
+// mrf/rate also accept ODD variants (e.g. truck-cut-out) beyond the
+// paper's nine. record archives every fresh run into a
+// content-addressed store and refreshes the replay baselines; diff
+// exits non-zero when any archived run's replay diverges from its
+// baseline. serve exposes the same engine+store stack over HTTP with
+// graceful drain on SIGTERM; campaign -server runs the batch through
+// a remote serve instance via the typed Go client.
 package main
 
 import (
@@ -63,6 +68,10 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -74,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios|record|replay|diff> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios|record|replay|diff|campaign|serve> [flags]")
 }
 
 func cmdEstimate(args []string) error {

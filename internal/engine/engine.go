@@ -251,6 +251,12 @@ func Default() *Engine {
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
+// Store returns the persistent store attached at construction, or nil.
+// Layers above the engine (the campaign server's /v1/store endpoints,
+// the CLIs' stats lines) use it to answer manifest queries against the
+// same tier the engine warm-starts from.
+func (e *Engine) Store() *store.Store { return e.opts.Store }
+
 // Stats snapshots the engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
@@ -511,6 +517,15 @@ func (e *Engine) evictLocked() {
 	}
 }
 
+// RunJob executes one job and reports its full outcome, including the
+// tier that answered it (fresh simulation, memory cache, or persistent
+// store). Run is the error-pair convenience; RunJob is for callers —
+// the campaign server, stats-printing CLIs — that surface the source.
+func (e *Engine) RunJob(ctx context.Context, job Job) Outcome {
+	res, src, err := e.run(ctx, job)
+	return Outcome{Job: job, Result: res, Source: src, Cached: src != SourceFresh, Err: err}
+}
+
 // RunBatch submits a campaign: all jobs are scheduled onto the shared
 // pool and execute concurrently up to the worker limit. The first real
 // run error cancels the jobs that have not started yet (first-error
@@ -519,20 +534,37 @@ func (e *Engine) evictLocked() {
 // reported per-outcome but not joined. Outcomes align with jobs by
 // index.
 func (e *Engine) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error) {
+	return e.RunBatchFunc(ctx, jobs, nil)
+}
+
+// RunBatchFunc is RunBatch with a completion hook: fn (when non-nil) is
+// invoked once per job, in completion order, as soon as that job's
+// outcome is known — while the rest of the campaign is still running.
+// Calls to fn are serialized by the engine, so fn may write to a shared
+// sink (the campaign server streams one NDJSON line per call) without
+// its own locking; i is the job's submission index. The returned
+// BatchResult still carries every outcome in submission order.
+func (e *Engine) RunBatchFunc(ctx context.Context, jobs []Job, fn func(i int, o Outcome)) (*BatchResult, error) {
 	startAt := time.Now()
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	outcomes := make([]Outcome, len(jobs))
+	var emit sync.Mutex
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			res, src, err := e.run(bctx, j)
-			outcomes[i] = Outcome{Job: j, Result: res, Source: src, Cached: src != SourceFresh, Err: err}
-			if err != nil && !isCancellation(err) {
+			o := e.RunJob(bctx, j)
+			outcomes[i] = o
+			if o.Err != nil && !isCancellation(o.Err) {
 				cancel()
+			}
+			if fn != nil {
+				emit.Lock()
+				fn(i, o)
+				emit.Unlock()
 			}
 		}(i, j)
 	}

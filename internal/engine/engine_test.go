@@ -370,3 +370,63 @@ func TestDefaultOptions(t *testing.T) {
 		t.Error("nil default runner")
 	}
 }
+
+// TestRunBatchFuncStreams: the completion hook fires exactly once per
+// job, calls are serialized, and the batch result still carries every
+// outcome in submission order.
+func TestRunBatchFuncStreams(t *testing.T) {
+	fr := &fakeRunner{delay: time.Millisecond}
+	e := New(Options{Workers: 4, Runner: fr.run})
+	defer e.Close()
+	sc := fakeScenario("stream")
+	jobs := gridJobs(sc, []float64{1, 2, 3}, 4)
+
+	var mu sync.Mutex
+	inHook := false
+	seen := make(map[int]int)
+	br, err := e.RunBatchFunc(context.Background(), jobs, func(i int, o Outcome) {
+		mu.Lock()
+		if inHook {
+			t.Error("hook re-entered: calls are not serialized")
+		}
+		inHook = true
+		mu.Unlock()
+		seen[i]++
+		if o.Err != nil {
+			t.Errorf("job %d: %v", i, o.Err)
+		}
+		mu.Lock()
+		inHook = false
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("hook fired for %d jobs, want %d", len(seen), len(jobs))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("job %d: hook fired %d times", i, n)
+		}
+	}
+	for i, o := range br.Outcomes {
+		if o.Job.FPR != jobs[i].FPR || o.Job.Seed != jobs[i].Seed {
+			t.Errorf("outcome %d misaligned with submission order", i)
+		}
+	}
+}
+
+// TestRunJobReportsSource: RunJob surfaces the tier that answered.
+func TestRunJobReportsSource(t *testing.T) {
+	fr := &fakeRunner{}
+	e := New(Options{Workers: 2, Runner: fr.run})
+	defer e.Close()
+	j := Job{Scenario: fakeScenario("src"), FPR: 5, Seed: 1}
+	if o := e.RunJob(context.Background(), j); o.Source != SourceFresh || o.Cached {
+		t.Errorf("first run: source %v cached %v, want fresh", o.Source, o.Cached)
+	}
+	if o := e.RunJob(context.Background(), j); o.Source != SourceMemory || !o.Cached {
+		t.Errorf("second run: source %v cached %v, want memory", o.Source, o.Cached)
+	}
+}

@@ -174,6 +174,17 @@ func (c *Controller) Rates(now float64, ego world.Agent, wm []world.Agent) map[s
 	// conservative choice is the smallest latency it could be granted.
 	l0 := 1 / c.Cfg.MaxFPR
 	est := c.Estimator.EstimateOnline(now, ego, wm, c.Predictor, l0)
+	return c.RatesFromEstimate(now, ego, wm, est)
+}
+
+// RatesFromEstimate is Rates with the online estimate already in hand.
+// Callers that need both the raw estimate and the allocation — the
+// campaign service's POST /v1/rate answers with both — use it to avoid
+// running the estimator twice on the same snapshot. The estimate must
+// be for this instant and this world model (ego and wm still feed the
+// occlusion guard).
+func (c *Controller) RatesFromEstimate(now float64, ego world.Agent, wm []world.Agent, est core.Estimate) map[string]float64 {
+	l0 := 1 / c.Cfg.MaxFPR
 
 	if len(c.lastRates) > 0 {
 		c.checks = append(c.checks, Check(est, c.lastRates))

@@ -1,0 +1,48 @@
+package scenario
+
+// Info is a wire-friendly scenario description: the fields a catalog
+// consumer (the `zhuyi scenarios list` CLI, the campaign server's
+// GET /v1/scenarios endpoint) needs to pick a scenario, without the
+// full Spec or the compiled geometry.
+type Info struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	EgoSpeedMPH float64  `json:"ego_speed_mph"`
+	Tags        []string `json:"tags,omitempty"`
+	// HasSpec reports whether the scenario is backed by a declarative
+	// Spec (true for every registry entry today; hand-built Scenario
+	// values registered directly would report false).
+	HasSpec bool `json:"has_spec"`
+}
+
+// InfoOf summarizes one spec, registered or not — the generator's
+// corpus members are described with it before registration.
+func InfoOf(sp Spec) Info {
+	return Info{
+		Name:        sp.Name,
+		Description: sp.Description,
+		EgoSpeedMPH: sp.EgoSpeedMPH,
+		Tags:        append([]string(nil), sp.Tags...),
+		HasSpec:     true,
+	}
+}
+
+// Catalog lists the registry's entries as Infos, in registration
+// order, optionally filtered to entries carrying all the given tags.
+func (r *Registry) Catalog(tags ...string) []Info {
+	entries := r.Entries(tags...)
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = Info{
+			Name:        e.Scenario.Name,
+			Description: e.Scenario.Description,
+			EgoSpeedMPH: e.Scenario.EgoSpeedMPH,
+			Tags:        append([]string(nil), e.Tags...),
+			HasSpec:     e.Spec != nil,
+		}
+	}
+	return out
+}
+
+// Catalog lists the default registry as Infos. See Registry.Catalog.
+func Catalog(tags ...string) []Info { return Default().Catalog(tags...) }

@@ -1,0 +1,39 @@
+package scenario
+
+import "testing"
+
+// TestCatalogMirrorsRegistry: every registry entry appears as an Info
+// with its tags, and tag filtering matches Entries.
+func TestCatalogMirrorsRegistry(t *testing.T) {
+	all := Catalog()
+	if len(all) != Default().Len() {
+		t.Fatalf("catalog size %d, registry %d", len(all), Default().Len())
+	}
+	for _, info := range all {
+		e, ok := Default().Get(info.Name)
+		if !ok {
+			t.Errorf("catalog entry %q not in registry", info.Name)
+			continue
+		}
+		if info.Description != e.Scenario.Description || info.EgoSpeedMPH != e.Scenario.EgoSpeedMPH {
+			t.Errorf("%s: info drifted from registry entry", info.Name)
+		}
+		if info.HasSpec != (e.Spec != nil) {
+			t.Errorf("%s: HasSpec = %v", info.Name, info.HasSpec)
+		}
+	}
+	if got := len(Catalog(TagTable1)); got != 9 {
+		t.Errorf("table1 catalog size %d", got)
+	}
+}
+
+// TestInfoOf: generated (unregistered) specs describe themselves.
+func TestInfoOf(t *testing.T) {
+	specs := NewGenerator(GenOptions{Seed: 7}).Generate(3)
+	for _, sp := range specs {
+		info := InfoOf(sp)
+		if info.Name != sp.Name || !info.HasSpec {
+			t.Errorf("InfoOf(%s) = %+v", sp.Name, info)
+		}
+	}
+}

@@ -141,12 +141,12 @@ type TriggerKind int
 
 // Trigger kinds, mirroring package behavior's trigger constructors.
 const (
-	TrigImmediately TriggerKind = iota
-	TrigAtTime                  // Arg: simulation time, s
-	TrigAtStation               // Arg: actor station, m
-	TrigGapToEgoAbove           // Arg: actor lead over ego, m
-	TrigGapToEgoBelow           // Arg: actor lead over ego, m
-	TrigEgoWithin               // Arg: |actor − ego| station distance, m
+	TrigImmediately   TriggerKind = iota
+	TrigAtTime                    // Arg: simulation time, s
+	TrigAtStation                 // Arg: actor station, m
+	TrigGapToEgoAbove             // Arg: actor lead over ego, m
+	TrigGapToEgoBelow             // Arg: actor lead over ego, m
+	TrigEgoWithin                 // Arg: |actor − ego| station distance, m
 )
 
 // TriggerDef declares a stage trigger.
@@ -196,15 +196,15 @@ type StageDef struct {
 // (lane center plus optional lateral offset at a station), initial
 // speed, and trigger-gated stages.
 type ActorDef struct {
-	ID      string
-	Kind    ActorKind
-	Custom  vehicle.Params // KindCustom only
-	Lane    int
-	DOffset float64 // extra lateral offset from the lane center, m
-	S       Val     // initial station, m
-	Speed   Val     // ego-speed factor unless SpeedAbsolute
+	ID            string
+	Kind          ActorKind
+	Custom        vehicle.Params // KindCustom only
+	Lane          int
+	DOffset       float64 // extra lateral offset from the lane center, m
+	S             Val     // initial station, m
+	Speed         Val     // ego-speed factor unless SpeedAbsolute
 	SpeedAbsolute bool
-	Stages  []StageDef
+	Stages        []StageDef
 }
 
 // Spec is a declarative, parameterized driving scenario. It compiles to

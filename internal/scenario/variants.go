@@ -109,10 +109,10 @@ func VariantSpecs() []Spec {
 			Duration: 20,
 			Actors: []ActorDef{
 				{
-					ID:   "crosser",
-					Kind: KindCustom,
+					ID:     "crosser",
+					Kind:   KindCustom,
 					Custom: vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1, MaxBrake: 2, MaxSpeed: 3},
-					Lane: 0, DOffset: -3.0,
+					Lane:   0, DOffset: -3.0,
 					S: J(55, 0.1), Speed: C(0.5), SpeedAbsolute: true,
 					Stages: []StageDef{{
 						When: TriggerDef{Kind: TrigEgoWithin, Arg: J(50, 0.1)},

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocsMatchRouteTable pins docs/api.md to Routes(): every route
+// must be documented under a heading of the form
+//
+//	### `METHOD /pattern`
+//
+// and every such heading must correspond to a route — the hand-written
+// reference cannot gain or lose endpoints relative to the mux, which
+// is built from the same table.
+func TestAPIDocsMatchRouteTable(t *testing.T) {
+	data, err := os.ReadFile("../../docs/api.md")
+	if err != nil {
+		t.Fatalf("docs/api.md must exist: %v", err)
+	}
+	doc := string(data)
+
+	headingRe := regexp.MustCompile("(?m)^### `([A-Z]+) ([^`]+)`$")
+	documented := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+
+	routes := make(map[string]bool)
+	for _, r := range Routes() {
+		key := r.Method + " " + r.Pattern
+		routes[key] = true
+		if !documented[key] {
+			t.Errorf("route %q is not documented in docs/api.md (want a heading ### `%s`)", key, key)
+		}
+		if r.Summary == "" {
+			t.Errorf("route %q has an empty summary", key)
+		}
+	}
+	for key := range documented {
+		if !routes[key] {
+			t.Errorf("docs/api.md documents %q, which is not in the route table", key)
+		}
+	}
+	if len(routes) != len(Routes()) {
+		t.Error("duplicate (method, pattern) pairs in the route table")
+	}
+
+	// The stream's tier vocabulary is part of the contract; the docs
+	// must name all three sources.
+	for _, src := range []string{"`fresh`", "`memory`", "`disk`"} {
+		if !strings.Contains(doc, src) {
+			t.Errorf("docs/api.md does not document the %s source tier", src)
+		}
+	}
+}
+
+// TestRouteSummariesPrintable: the table renders (used by docs
+// tooling and the serve startup log if ever needed).
+func TestRouteSummariesPrintable(t *testing.T) {
+	for _, r := range Routes() {
+		if s := fmt.Sprintf("%-6s %-22s %s", r.Method, r.Pattern, r.Summary); len(s) < 10 {
+			t.Errorf("unprintable route %+v", r)
+		}
+	}
+}

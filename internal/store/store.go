@@ -205,6 +205,32 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Summary aggregates the manifest index: distinct archived keys, the
+// scenarios they span, and total row/byte volume (uncompressed). It
+// reads only the in-memory index — no artifact is touched — so it is
+// cheap enough to serve on every stats request.
+type Summary struct {
+	Entries   int   `json:"entries"`   // distinct archived (fingerprint, FPR, seed, sim) keys
+	Scenarios int   `json:"scenarios"` // distinct scenario names at record time
+	Rows      int   `json:"rows"`      // total trace rows across entries
+	Bytes     int64 `json:"bytes"`     // total uncompressed artifact bytes across entries
+}
+
+// Summarize computes the store's manifest Summary.
+func (s *Store) Summarize() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := Summary{Entries: len(s.index)}
+	names := make(map[string]struct{})
+	for _, e := range s.index {
+		names[e.Scenario] = struct{}{}
+		sum.Rows += e.Rows
+		sum.Bytes += e.Bytes
+	}
+	sum.Scenarios = len(names)
+	return sum
+}
+
 // Lookup returns the manifest entry for a key without touching the
 // artifact.
 func (s *Store) Lookup(k Key) (Entry, bool) {

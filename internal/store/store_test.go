@@ -367,3 +367,30 @@ func TestKeyForUsesSpecFingerprint(t *testing.T) {
 		t.Error("name-hash fallback collided")
 	}
 }
+
+// TestSummarize: the manifest aggregate matches the recorded entries.
+func TestSummarize(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Summarize(); got != (Summary{}) {
+		t.Errorf("empty store summary %+v", got)
+	}
+	res := syntheticResult("cut-out", 30, 1, 40, false)
+	if _, _, err := st.Put("cut-out", key("cut-out", 30, 1), res); err != nil {
+		t.Fatal(err)
+	}
+	res2 := syntheticResult("cut-out", 30, 2, 60, false)
+	if _, _, err := st.Put("cut-out", key("cut-out", 30, 2), res2); err != nil {
+		t.Fatal(err)
+	}
+	sum := st.Summarize()
+	if sum.Entries != 2 || sum.Scenarios != 1 {
+		t.Errorf("summary %+v, want 2 entries over 1 scenario", sum)
+	}
+	if sum.Rows != res.Trace.Len()+res2.Trace.Len() || sum.Bytes <= 0 {
+		t.Errorf("summary volume %+v", sum)
+	}
+}

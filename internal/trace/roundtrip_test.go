@@ -32,8 +32,8 @@ func randomTrace(rng *rand.Rand, rows int) *Trace {
 		row := Row{
 			Time: float64(i) * 0.01,
 			Ego: world.Agent{
-				ID:   world.EgoID,
-				Pose: geom.Pose{Pos: geom.V(rng.NormFloat64()*100, rng.NormFloat64()*4), Heading: rng.Float64()},
+				ID:    world.EgoID,
+				Pose:  geom.Pose{Pos: geom.V(rng.NormFloat64()*100, rng.NormFloat64()*4), Heading: rng.Float64()},
 				Speed: rng.Float64() * 40, Accel: rng.NormFloat64() * 3,
 				LatVel: rng.NormFloat64(), Length: 4.6, Width: 1.9, Lane: rng.Intn(3),
 			},
@@ -42,8 +42,8 @@ func randomTrace(rng *rand.Rand, rows int) *Trace {
 		}
 		for a := 0; a < rng.Intn(4); a++ {
 			row.Actors = append(row.Actors, world.Agent{
-				ID:   fmt.Sprintf("a%d", a),
-				Pose: geom.Pose{Pos: geom.V(rng.NormFloat64()*200, rng.NormFloat64()*8)},
+				ID:    fmt.Sprintf("a%d", a),
+				Pose:  geom.Pose{Pos: geom.V(rng.NormFloat64()*200, rng.NormFloat64()*8)},
 				Speed: rng.Float64() * 30, Length: 4.6, Width: 1.9,
 				Static: rng.Intn(5) == 0,
 			})

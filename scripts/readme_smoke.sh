@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI readme-smoke: execute every ```sh block in README.md verbatim, in
+# order, from the repo root. This is what keeps the README's command
+# blocks copy-paste runnable — a drifted command fails the job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+block=$(mktemp)
+trap 'rm -f "$block"' EXIT
+awk '/^```sh$/{f=1;next} /^```/{f=0} f' README.md > "$block"
+echo "--- README sh blocks ---"
+cat "$block"
+echo "------------------------"
+bash -euo pipefail "$block"
+rm -rf runs
+echo "readme smoke: ok"

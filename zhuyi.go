@@ -67,6 +67,23 @@
 // The corpus-sweep experiment (internal/experiments.CorpusSweep, or
 // `experiments -exp corpus`) builds on the same generator to measure
 // the minimum-required-FPR distribution over generated corpora.
+//
+// # Remote campaigns
+//
+// `zhuyi serve` exposes the same stack as an HTTP campaign service
+// (internal/server, endpoint reference in docs/api.md), and Client is
+// its typed Go client: the same CampaignPoint values run against a
+// remote server, with outcomes streamed back as each point completes.
+// Remote outcomes carry run summaries, not traces (Result.Trace is
+// nil):
+//
+//	cl := zhuyi.NewClient("http://127.0.0.1:8080")
+//	res, err := cl.Campaign(ctx, points)
+//	stats, _ := cl.Stats(ctx) // fresh vs memory vs disk evidence
+//
+// Where the layers sit — core model, simulator, scenarios, engine,
+// store/replay, server, CLIs — and how one campaign point flows
+// through them is documented in ARCHITECTURE.md.
 package zhuyi
 
 import (
