@@ -5,7 +5,10 @@ package zhuyi
 // CampaignPoint values go in, a CampaignResult comes out — the only
 // difference is that over the wire each outcome carries the run
 // summary (collision, closest approach, frames processed), never the
-// full trace; Outcome.Result.Trace is nil for remote campaigns.
+// full trace; Outcome.Result.Trace is nil for remote campaigns. (The
+// service runs store-less points at summary recording level, so there
+// is no trace to ship in the first place; store-backed points are
+// archived server-side and addressable via the store endpoints.)
 
 import (
 	"bufio"

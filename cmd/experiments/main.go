@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		corpusN    = flag.Int("corpus", 20, "corpus sweep: number of generated scenarios")
 		corpusSeed = flag.Int64("corpusseed", 1, "corpus sweep: generator seed")
 		tags       = flag.String("tags", "", "corpus sweep: also include registered scenarios with these comma-separated tags")
+		record     = flag.String("record", "summary", "corpus sweep: trace recording level of generated members (full, summary, off)")
 		storeDir   = flag.String("store", "", "persistent run store directory: archived points load from disk instead of simulating, fresh runs are archived back")
 	)
 	flag.Parse()
@@ -199,11 +201,16 @@ func main() {
 				fams = append(fams, strings.TrimSpace(t))
 			}
 		}
+		level, err := trace.ParseLevel(*record)
+		if err != nil {
+			return err
+		}
 		res, err := experiments.CorpusSweep(context.Background(), experiments.CorpusOptions{
 			N:       *corpusN,
 			GenSeed: *corpusSeed,
 			Tags:    fams,
 			Seeds:   *seeds,
+			Record:  level,
 			Engine:  eng,
 		})
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	zhuyi "repro"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func cmdCampaign(args []string) error {
@@ -25,9 +26,14 @@ func cmdCampaign(args []string) error {
 	seeds := fs.Int("seeds", 3, "seeded runs per (scenario, rate) point")
 	workers := fs.Int("workers", 0, "local mode: concurrent simulations (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "local mode: persistent run store")
+	record := fs.String("record", "summary", "local mode: trace recording level (full, summary, off); store-archived points stay full")
 	quiet := fs.Bool("quiet", false, "suppress per-point lines, print only the stats summary")
 	fs.Parse(args)
 
+	level, err := trace.ParseLevel(*record)
+	if err != nil {
+		return err
+	}
 	scs, err := resolveScenarios(*names, *tags)
 	if err != nil {
 		return err
@@ -55,7 +61,7 @@ func cmdCampaign(args []string) error {
 			}
 		})
 	} else {
-		opts, closeStore, oerr := engineOptions(*storeDir, *workers)
+		opts, closeStore, oerr := engineOptions(*storeDir, *workers, level)
 		if oerr != nil {
 			return oerr
 		}

@@ -166,7 +166,9 @@ func cmdMRF(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
-	opts, closeStore, err := engineOptions(*storeDir, *workers)
+	// The search reads nothing but collision outcomes, so runs record
+	// at summary level (store-archived points stay full).
+	opts, closeStore, err := engineOptions(*storeDir, *workers, trace.LevelSummary)
 	if err != nil {
 		return err
 	}
@@ -200,7 +202,7 @@ func cmdRate(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
 	}
-	opts, closeStore, err := engineOptions(*storeDir, *workers)
+	opts, closeStore, err := engineOptions(*storeDir, *workers, trace.LevelSummary)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func cmdServe(args []string) error {
@@ -30,7 +31,10 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
 	fs.Parse(args)
 
-	opts, closeStore, err := engineOptions(*storeDir, *workers)
+	// Campaign responses stream summaries, never traces, so the service
+	// engine records at summary level; with a store attached the engine
+	// upgrades archivable points back to full.
+	opts, closeStore, err := engineOptions(*storeDir, *workers, trace.LevelSummary)
 	if err != nil {
 		return err
 	}

@@ -17,13 +17,18 @@ import (
 	"repro/internal/replay"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // engineOptions assembles engine options for a run-campaign
 // subcommand, opening the persistent store when a directory is given.
-// The returned closer is non-nil exactly when a store was opened.
-func engineOptions(storeDir string, workers int) (engine.Options, func(), error) {
-	opts := engine.Options{Workers: workers}
+// record is the trace recording level for the engine's runs; summary
+// consumers (mrf, rate, campaign) pass trace.LevelSummary to skip row
+// materialization, and store-recorded runs stay full regardless (the
+// engine upgrades persistable jobs). The returned closer is non-nil
+// exactly when a store was opened.
+func engineOptions(storeDir string, workers int, record trace.Level) (engine.Options, func(), error) {
+	opts := engine.Options{Workers: workers, Record: record}
 	if storeDir == "" {
 		return opts, func() {}, nil
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Runner executes one job. The default runner builds the scenario's
@@ -34,9 +35,20 @@ import (
 type Runner func(Job) (*sim.Result, error)
 
 // DefaultRunner is the production runner: one seeded closed-loop
-// simulation of the scenario at the job's rate.
+// simulation of the scenario at the job's rate. The recording level is
+// the lesser of what the built configuration declares (a spec-declared
+// level survives the engine path) and the job's engine-stamped level —
+// unless the point will be archived, in which case the engine requires
+// a full trace and the job says so (fullForStore). Configure may still
+// override cfg.Record.
 func DefaultRunner(j Job) (*sim.Result, error) {
 	cfg := j.Scenario.Build(j.FPR, j.Seed)
+	switch {
+	case j.fullForStore:
+		cfg.Record = trace.LevelFull
+	case j.Record > cfg.Record:
+		cfg.Record = j.Record // the engine's policy records less than the spec declares
+	}
 	if j.Configure != nil {
 		j.Configure(&cfg)
 	}
@@ -62,6 +74,19 @@ type Options struct {
 	// the point falls through to a fresh simulation and the error is
 	// counted in Stats.StoreErrors. nil disables the tier.
 	Store *store.Store
+	// Record is the trace recording level the engine runs its jobs at.
+	// The zero value is trace.LevelFull. Engines whose consumers only
+	// read summaries — the campaign server's NDJSON stream, MRF/rate
+	// CLIs, corpus sweeps — set LevelSummary and skip per-step row
+	// materialization, the dominant allocation of a run. A scenario
+	// whose spec declares a lesser level keeps it (the default runner
+	// records the lesser of policy and spec). Store-recorded runs
+	// always stay LevelFull regardless: a persistable job on a
+	// store-attached engine must produce an archivable trace (the
+	// persistent tier refuses anything less). The level is an engine
+	// policy, not a per-job knob, so cache entries are level-consistent
+	// per key and a hit can never return less than the caller expects.
+	Record trace.Level
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +122,16 @@ type Job struct {
 	// hook must carry a Variant or NoCache so it cannot alias the plain
 	// run's cache slot; the engine forces NoCache otherwise.
 	Configure func(*sim.Config)
+	// Record is the job's engine-stamped trace recording level, assigned
+	// from Options.Record before the job reaches the Runner; caller-set
+	// values are overwritten. The default runner records at the lesser
+	// of this and any level the scenario's own spec declares, except
+	// when fullForStore demands an archivable trace.
+	Record trace.Level
+	// fullForStore marks a persistable job on a store-attached engine:
+	// the run must produce a full trace for the archive hook, whatever
+	// the engine policy or the spec declare.
+	fullForStore bool
 }
 
 // Key is the cache identity of a job.
@@ -343,7 +378,10 @@ func (e *Engine) execute(t *task) {
 
 // archive writes a fresh successful plain run to the persistent store.
 // Store failures are counted, never propagated: the simulation itself
-// succeeded.
+// succeeded. Non-full results never reach the store: the engine runs
+// persistable jobs at trace.LevelFull, and if an injected runner
+// ignores that, store.Put's own level guard rejects the result and the
+// rejection is counted here.
 func (e *Engine) archive(j Job, res *sim.Result) {
 	if e.opts.Store == nil || !j.persistable() || res == nil {
 		return
@@ -411,6 +449,18 @@ func (e *Engine) finish(t *task, res *sim.Result, err error) {
 	close(t.ent.done)
 }
 
+// effectiveLevel resolves the recording level a job runs at: the
+// engine's configured level, upgraded to full for persistable jobs on
+// a store-attached engine (the archive hook needs a complete trace —
+// the fullForStore flag tells the runner the upgrade is mandatory and
+// overrides even a spec-declared level).
+func (e *Engine) effectiveLevel(j Job) (trace.Level, bool) {
+	if e.opts.Store != nil && j.persistable() {
+		return trace.LevelFull, true
+	}
+	return e.opts.Record, false
+}
+
 func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
@@ -433,6 +483,7 @@ func (e *Engine) run(ctx context.Context, job Job) (*sim.Result, Source, error) 
 		// cache slot at the same point.
 		job.NoCache = true
 	}
+	job.Record, job.fullForStore = e.effectiveLevel(job)
 	cacheable := !job.NoCache && e.opts.CacheSize > 0
 	if cacheable {
 		key := job.key()

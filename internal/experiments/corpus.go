@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // CorpusOptions scales a corpus sweep: the MRF distribution over N
@@ -43,6 +44,18 @@ type CorpusOptions struct {
 	// member's parameters misses cleanly instead of serving a stale
 	// trace recorded under the same name.
 	Store *store.Store
+	// Record is the trace recording level of the sweep's generated
+	// members. An MRF sweep reads nothing but collision outcomes, so
+	// trace.LevelSummary (the `-exp corpus` CLI default) skips every
+	// generated run's row materialization. The level is stamped onto
+	// the generated specs themselves (and folded into the corpus name
+	// prefix, so differently-leveled sweeps never alias each other's
+	// cached runs), which means it survives any engine — including the
+	// shared default one; a store-attached engine still upgrades
+	// archivable points to full. Tag-selected registered members keep
+	// their own declared level. When the sweep builds its own engine
+	// (Engine nil), the engine also adopts this level as its policy.
+	Record trace.Level
 
 	// ownEngine marks a private pool built by withDefaults; CorpusSweep
 	// closes it so repeated sweeps don't leak worker goroutines.
@@ -60,8 +73,8 @@ func (o CorpusOptions) withDefaults() CorpusOptions {
 		o.FPRGrid = metrics.DefaultFPRGrid()
 	}
 	if o.Engine == nil {
-		if o.Store != nil {
-			o.Engine = engine.New(engine.Options{Store: o.Store})
+		if o.Store != nil || o.Record != trace.LevelFull {
+			o.Engine = engine.New(engine.Options{Store: o.Store, Record: o.Record})
 			o.ownEngine = true
 		} else {
 			o.Engine = engine.Default()
@@ -118,7 +131,7 @@ func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) 
 	gen := scenario.NewGenerator(scenario.GenOptions{
 		Seed:     opt.GenSeed,
 		Families: opt.Families,
-		Prefix:   corpusPrefix(opt.GenSeed, opt.Families),
+		Prefix:   corpusPrefix(opt.GenSeed, opt.Families, opt.Record),
 	})
 	for _, sp := range gen.Generate(opt.N) {
 		fam := string(scenario.FamilyCutIn)
@@ -128,6 +141,10 @@ func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) 
 				break
 			}
 		}
+		// The sweep only reads collision outcomes, so generated members
+		// carry the sweep's recording level in their spec — it survives
+		// whatever engine runs them.
+		sp.Record = opt.Record
 		members = append(members, member{sc: sp.Scenario(), family: fam})
 	}
 
@@ -155,8 +172,14 @@ func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) 
 
 // corpusPrefix names a sweep's corpus by its literal generator
 // identity, so distinct (seed, family-set) pairs can never collide.
-func corpusPrefix(seed int64, families []scenario.Family) string {
+// The recording level is part of the identity: sweeps at different
+// levels produce differently-leveled results and must not share cache
+// slots on one engine.
+func corpusPrefix(seed int64, families []scenario.Family, record trace.Level) string {
 	prefix := fmt.Sprintf("gen-s%d", seed)
+	if record != trace.LevelFull {
+		prefix += "-" + record.String()
+	}
 	for _, f := range families {
 		prefix += "-" + string(f)
 	}

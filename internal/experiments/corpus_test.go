@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // TestPropertyCorpusSweepSmall runs a small generated corpus end to end
@@ -133,5 +135,37 @@ func TestCorpusSweepIncludesTaggedRegistered(t *testing.T) {
 	}
 	if registered != len(scenario.Variants()) {
 		t.Errorf("registered rows = %d, want %d", registered, len(scenario.Variants()))
+	}
+}
+
+// TestCorpusSweepRecordLevelStampsGeneratedSpecs proves the sweep's
+// recording level reaches generated members through any engine: a
+// summary-level sweep on a plain (full-policy) engine never
+// materializes rows, and its corpus prefix is level-distinct so it
+// cannot alias a full-level sweep's cached runs.
+func TestCorpusSweepRecordLevelStampsGeneratedSpecs(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2, Runner: func(j engine.Job) (*sim.Result, error) {
+		cfg := j.Scenario.Build(j.FPR, j.Seed)
+		if j.Record > cfg.Record {
+			cfg.Record = j.Record
+		}
+		if cfg.Record != trace.LevelSummary {
+			t.Errorf("%s compiled at level %v, want summary", j.Scenario.Name, cfg.Record)
+		}
+		if !strings.Contains(j.Scenario.Name, "-summary/") {
+			t.Errorf("corpus member %q lacks the level-distinct prefix", j.Scenario.Name)
+		}
+		return &sim.Result{FramesProcessed: map[string]int{}, Level: cfg.Record}, nil
+	}})
+	defer eng.Close()
+	res, err := CorpusSweep(context.Background(), CorpusOptions{
+		N: 2, GenSeed: 7, Seeds: 1, FPRGrid: []float64{5, 30},
+		Record: trace.LevelSummary, Engine: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
 	}
 }

@@ -19,7 +19,9 @@ package perception
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/sensor"
@@ -106,6 +108,14 @@ type Track struct {
 	Width       float64
 
 	fx, fy axisFilter
+
+	// Coasted-state memo: within one simulation step the same track is
+	// queried at the same instant by several cameras' miss checks and
+	// the world model; State is pure, so the pipeline caches it
+	// (invalidated on every measurement update).
+	cacheValid bool
+	cacheT     float64
+	cacheState world.Agent
 }
 
 // State coasts the track estimate to time t and returns it as an agent.
@@ -146,6 +156,11 @@ type Pipeline struct {
 
 	tracks map[string]*Track
 
+	// Per-frame scratch, reused across ProcessFrame calls so the
+	// simulator's hot loop does not allocate per frame.
+	visScratch []world.Agent
+	detScratch map[string]bool
+
 	// Stats.
 	FramesProcessed int
 	Detections      int
@@ -155,9 +170,10 @@ type Pipeline struct {
 // NewPipeline builds a pipeline with the given config and noise seed.
 func NewPipeline(cfg Config, seed int64) *Pipeline {
 	return &Pipeline{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(seed)),
-		tracks: make(map[string]*Track),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		tracks:     make(map[string]*Track),
+		detScratch: make(map[string]bool),
 	}
 }
 
@@ -167,8 +183,10 @@ func NewPipeline(cfg Config, seed int64) *Pipeline {
 // camera's FOV and not occluded).
 func (p *Pipeline) ProcessFrame(cam sensor.Camera, t float64, ego world.Agent, actors []world.Agent) {
 	p.FramesProcessed++
-	visible := sensor.VisibleActors(cam, ego.Pose, actors)
-	detected := make(map[string]bool, len(visible))
+	p.visScratch = sensor.AppendVisible(p.visScratch[:0], cam, ego.Pose, actors)
+	visible := p.visScratch
+	clear(p.detScratch)
+	detected := p.detScratch
 
 	for _, a := range visible {
 		if p.rng.Float64() > p.cfg.DetectProb {
@@ -181,12 +199,13 @@ func (p *Pipeline) ProcessFrame(cam sensor.Camera, t float64, ego world.Agent, a
 
 	// Tracks whose estimate lies in this camera's FOV but were not
 	// detected this frame accumulate misses.
+	cone := sensor.NewFrameCone(cam, ego.Pose)
 	for id, tk := range p.tracks {
 		if detected[id] {
 			continue
 		}
-		est := tk.State(t)
-		if !cam.SeesAgent(ego.Pose, est) {
+		est := p.stateAt(tk, t)
+		if cone.CannotSee(est) || !cam.SeesAgent(ego.Pose, est) {
 			continue // not this camera's responsibility
 		}
 		tk.Misses++
@@ -230,10 +249,24 @@ func (p *Pipeline) updateTrack(a world.Agent, t float64) {
 	tk.fy.update(zy, zvy, dt, p.cfg)
 	tk.LastUpdate = t
 	tk.Misses = 0
+	tk.cacheValid = false
 	if !tk.Confirmed {
 		tk.Hits++
 		p.maybeConfirm(tk, t)
 	}
+}
+
+// stateAt is Track.State memoized per (track, t): State is a pure
+// function of the filter state, which only updateTrack mutates (it
+// invalidates the memo), so the cached agent is exactly what State
+// would recompute.
+func (p *Pipeline) stateAt(tk *Track, t float64) world.Agent {
+	if tk.cacheValid && tk.cacheT == t {
+		return tk.cacheState
+	}
+	tk.cacheState = tk.State(t)
+	tk.cacheT, tk.cacheValid = t, true
+	return tk.cacheState
 }
 
 func (p *Pipeline) maybeConfirm(tk *Track, t float64) {
@@ -248,15 +281,22 @@ func (p *Pipeline) maybeConfirm(tk *Track, t float64) {
 // confirmed track coasted to t. The result is sorted by ID for
 // determinism.
 func (p *Pipeline) WorldModel(t float64) []world.Agent {
-	var out []world.Agent
+	return p.WorldModelAppend(nil, t)
+}
+
+// WorldModelAppend is WorldModel appending into dst (reusing its
+// backing array), so per-step callers — the simulator's perception
+// stage — amortize the allocation to zero. Track IDs are unique, so
+// the unstable sort is still deterministic.
+func (p *Pipeline) WorldModelAppend(dst []world.Agent, t float64) []world.Agent {
 	for _, tk := range p.tracks {
 		if !tk.Confirmed {
 			continue
 		}
-		out = append(out, tk.State(t))
+		dst = append(dst, p.stateAt(tk, t))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	slices.SortFunc(dst, func(a, b world.Agent) int { return strings.Compare(a.ID, b.ID) })
+	return dst
 }
 
 // Tracks returns all current tracks (confirmed or not), sorted by ID.

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSpecFingerprintIgnoresDefaultRecordLevel pins the compatibility
+// contract of the Record field: a spec recording at the default (full)
+// level marshals without the field at all, so every fingerprint minted
+// before the field existed — and every store key derived from one —
+// is unchanged. Declaring a non-default level is a real content change
+// and must re-fingerprint.
+func TestSpecFingerprintIgnoresDefaultRecordLevel(t *testing.T) {
+	sp := Table1Specs()[0]
+	if sp.Record != trace.LevelFull {
+		t.Fatalf("registered spec %s declares record level %v", sp.Name, sp.Record)
+	}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Record") {
+		t.Fatalf("full-level spec encodes a Record field — this breaks every pre-existing fingerprint: %s", b)
+	}
+
+	base := SpecFingerprint(sp)
+	summary := sp
+	summary.Record = trace.LevelSummary
+	if got := SpecFingerprint(summary); got == base {
+		t.Error("declaring a summary record level did not change the fingerprint")
+	}
+}
+
+// TestSpecRecordLevelCompiles proves the spec-declared level reaches
+// the simulator configuration.
+func TestSpecRecordLevelCompiles(t *testing.T) {
+	sp := Table1Specs()[0]
+	if got := sp.Compile(30, 1).Record; got != trace.LevelFull {
+		t.Errorf("default compile record = %v", got)
+	}
+	sp.Record = trace.LevelSummary
+	if got := sp.Compile(30, 1).Record; got != trace.LevelSummary {
+		t.Errorf("summary compile record = %v", got)
+	}
+}
+
+// TestSpecRecordLevelJSONRoundTrip covers spec (de)serialization with
+// the named-level encoding.
+func TestSpecRecordLevelJSONRoundTrip(t *testing.T) {
+	sp := Spec{Name: "rt", EgoSpeedMPH: 30, Duration: 5,
+		Road: RoadDef{Lanes: 2, Length: 500}, Record: trace.LevelOff}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"Record":"off"`) {
+		t.Fatalf("level not name-encoded: %s", b)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Record != trace.LevelOff {
+		t.Errorf("round-tripped record = %v", back.Record)
+	}
+}

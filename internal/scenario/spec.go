@@ -8,6 +8,7 @@ import (
 	"repro/internal/perception"
 	"repro/internal/road"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vehicle"
 	"repro/internal/world"
@@ -224,6 +225,14 @@ type Spec struct {
 	EgoLane  int
 	Duration float64 // s
 	Actors   []ActorDef
+
+	// Record is the trace recording level compiled into the simulator
+	// configuration; sweep-only corpus specs can declare themselves
+	// summary-level. The zero value (full) is omitted from the spec's
+	// canonical JSON, so adding or defaulting this field changes no
+	// existing fingerprint — archived runs recorded before the field
+	// existed still hit.
+	Record trace.Level `json:",omitempty"`
 }
 
 // HasTag reports whether the spec carries the tag.
@@ -260,6 +269,7 @@ func (sp Spec) compile(fpr float64, seed int64, info *CompileInfo) (sim.Config, 
 	r := sp.Road.build()
 	cfg := baseConfig(sp.Name, fpr, seed, r, sp.EgoLane, v)
 	cfg.Duration = sp.Duration
+	cfg.Record = sp.Record
 
 	for _, a := range sp.Actors {
 		where := "actor " + a.ID
@@ -378,6 +388,9 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Duration <= 0 {
 		return fmt.Errorf("spec %s: duration %v, need > 0", sp.Name, sp.Duration)
+	}
+	if sp.Record > trace.LevelOff {
+		return fmt.Errorf("spec %s: invalid recording level %d", sp.Name, sp.Record)
 	}
 	if sp.Road.Lanes < 1 {
 		return fmt.Errorf("spec %s: %d lanes, need >= 1", sp.Name, sp.Road.Lanes)

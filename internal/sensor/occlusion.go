@@ -1,6 +1,8 @@
 package sensor
 
 import (
+	"math"
+
 	"repro/internal/geom"
 	"repro/internal/world"
 )
@@ -36,26 +38,88 @@ func Occluded(egoPos geom.Vec2, target world.Agent, others []world.Agent) bool {
 // VisibleActors returns the actors the camera sees from the ego pose,
 // honoring occlusion by the other actors in the scene.
 func VisibleActors(c Camera, ego geom.Pose, actors []world.Agent) []world.Agent {
-	var out []world.Agent
+	return AppendVisible(nil, c, ego, actors)
+}
+
+// AppendVisible is VisibleActors appending into dst (reusing its
+// backing array); the perception pipeline's per-frame hot path calls
+// it with a scratch slice so frame processing allocates nothing, and a
+// conservative pre-filter (cameraReject) skips the trigonometric cone
+// test for actors that provably cannot be seen — the accepted set is
+// exactly VisibleActors'.
+func AppendVisible(dst []world.Agent, c Camera, ego geom.Pose, actors []world.Agent) []world.Agent {
+	cone := NewFrameCone(c, ego)
 	for _, a := range actors {
+		if cone.CannotSee(a) {
+			continue
+		}
 		if !c.SeesAgent(ego, a) {
 			continue
 		}
 		if Occluded(ego.Pos, a, actors) {
 			continue
 		}
-		out = append(out, a)
+		dst = append(dst, a)
 	}
-	return out
+	return dst
 }
 
-func sightRays(from geom.Vec2, target world.Agent) []geom.Segment {
+// FrameCone is a camera frozen at one ego pose for the duration of a
+// frame, with the axis trigonometry precomputed once: the per-frame
+// hot paths (visibility filtering, the perception miss sweep) consult
+// its conservative pre-filter before paying for the exact cone test.
+type FrameCone struct {
+	Cam Camera
+	Ego geom.Pose
+
+	axX, axY float64 // unit camera axis in world coordinates
+}
+
+// NewFrameCone freezes the camera at an ego pose. One Sincos here
+// replaces an atan2 per rejected agent.
+func NewFrameCone(c Camera, ego geom.Pose) FrameCone {
+	axY, axX := math.Sincos(ego.Heading + c.MountHeading)
+	return FrameCone{Cam: c, Ego: ego, axX: axX, axY: axY}
+}
+
+// CannotSee conservatively reports that SeesAgent is certainly false
+// for this agent; when it returns false the exact test must decide.
+func (fc *FrameCone) CannotSee(a world.Agent) bool {
+	return cameraReject(fc.Cam, fc.Ego, fc.axX, fc.axY, a)
+}
+
+// cameraReject reports that no salient point of the agent — center,
+// bumpers, or bounding-box corners, all within its footprint radius
+// bound of the center — can possibly pass SeesAgent for this camera.
+// Two conservative bounds, both strictly looser than the exact test:
+// the range bound (closest sampled point still beyond Range) and the
+// half-plane bound (every sampled point strictly behind the camera
+// plane while the half-FOV is under 90°).
+func cameraReject(c Camera, ego geom.Pose, axX, axY float64, a world.Agent) bool {
+	dx := a.Pose.Pos.X - ego.Pos.X
+	dy := a.Pose.Pos.Y - ego.Pos.Y
+	diag := world.FootprintRadiusBound(a.Length, a.Width)
+	reach := c.Range + diag
+	if dx*dx+dy*dy > reach*reach {
+		return true
+	}
+	if c.FOV < math.Pi {
+		// Behind the camera plane by more than the footprint: every
+		// sampled point sits at over 90° off-axis, and 90° > FOV/2.
+		if dx*axX+dy*axY < -diag {
+			return true
+		}
+	}
+	return false
+}
+
+func sightRays(from geom.Vec2, target world.Agent) [3]geom.Segment {
 	// Side extremes: corners of the box projected perpendicular to the
 	// line of sight give the widest visual extent; using the box's left
 	// and right mid-edge points is a good, cheap approximation.
 	left := target.Pose.Pos.Add(target.Pose.Left().Scale(target.Width / 2))
 	right := target.Pose.Pos.Sub(target.Pose.Left().Scale(target.Width / 2))
-	return []geom.Segment{
+	return [3]geom.Segment{
 		{A: from, B: target.Pose.Pos},
 		{A: from, B: left},
 		{A: from, B: right},

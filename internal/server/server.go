@@ -43,6 +43,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sensor"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vehicle"
 	"repro/internal/world"
 )
@@ -86,12 +87,17 @@ type Server struct {
 	points    atomic.Int64
 }
 
-// New builds a Server over one shared engine.
+// New builds a Server over one shared engine. A privately built engine
+// records at summary level: every response on this API carries run
+// summaries, never traces, so per-step rows would be materialized only
+// to be discarded — except for store-archived points, which the engine
+// upgrades to full so the persistent tier stays complete. Callers that
+// pass their own Engine keep its recording policy.
 func New(opts Options) *Server {
 	eng := opts.Engine
 	st := opts.Store
 	if eng == nil {
-		eng = engine.New(engine.Options{Workers: opts.Workers, Store: st})
+		eng = engine.New(engine.Options{Workers: opts.Workers, Store: st, Record: trace.LevelSummary})
 	} else {
 		st = eng.Store()
 	}

@@ -389,3 +389,27 @@ func TestRoutesAllHandled(t *testing.T) {
 		t.Errorf("route table has %d routes", len(Routes()))
 	}
 }
+
+// TestCampaignWithoutStoreRunsSummaryLevel pins the service's
+// recording policy: with no persistent store there is nothing to
+// archive, so campaign points run at summary level — the streamed
+// summaries are complete (source, collision, min gap) but no per-step
+// rows were ever materialized (Rows stays 0).
+func TestCampaignWithoutStoreRunsSummaryLevel(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	points, stats := postCampaign(t, ts.URL, campaignTwoPoints())
+	if len(points) != 2 || stats.Executed != 2 {
+		t.Fatalf("got %d points, stats %+v", len(points), stats)
+	}
+	for _, p := range points {
+		if p.Error != "" {
+			t.Errorf("point %d error %q", p.Index, p.Error)
+		}
+		if p.Rows != 0 {
+			t.Errorf("point %d has %d rows: store-less campaigns must not materialize traces", p.Index, p.Rows)
+		}
+		if !p.MinGapInfinite && p.MinBumperGap == 0 && !p.Collided {
+			t.Errorf("point %d summary looks empty: %+v", p.Index, p)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+//go:build !race
+
+// The allocation-budget regression gate for the step hot path. Race
+// instrumentation perturbs allocation counts, so the gate only runs in
+// non-race builds (CI runs it as a dedicated job).
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runAllocs measures total heap allocations of one complete run
+// (construction included) at the given recording level.
+func runAllocs(t *testing.T, lvl trace.Level) (allocs float64, steps int) {
+	t.Helper()
+	cfg := benchConfig(lvl)
+	allocs = testing.AllocsPerRun(3, func() {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for s.Step() {
+			n++
+		}
+		steps = n
+	})
+	return allocs, steps
+}
+
+// TestStepAllocationBudget pins the allocation diet: a whole
+// multi-thousand-step run must stay within a fixed allocation budget,
+// i.e. the per-step stage pipeline allocates (amortized) nothing. The
+// pre-refactor loop allocated per step — ground-truth slice, world
+// model, per-frame visibility scratch — which for the benchmark
+// scenario meant thousands of allocations per run (see
+// BenchmarkStepLegacyLoop); any regression back to per-step churn
+// blows the budget by orders of magnitude.
+func TestStepAllocationBudget(t *testing.T) {
+	const budget = 256 // setup-only; ~2000 steps ⇒ <0.13 allocs/step
+	for _, lvl := range []trace.Level{trace.LevelFull, trace.LevelSummary, trace.LevelOff} {
+		allocs, steps := runAllocs(t, lvl)
+		if steps < 1000 {
+			t.Fatalf("%v: benchmark run too short (%d steps)", lvl, steps)
+		}
+		t.Logf("%v: %.0f allocs over %d steps (%.4f/step)", lvl, allocs, steps, allocs/float64(steps))
+		if allocs > budget {
+			t.Errorf("%v-level run allocated %.0f times (budget %d): the step path regressed to per-step allocation",
+				lvl, allocs, budget)
+		}
+	}
+}

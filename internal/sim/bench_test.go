@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/road"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+)
+
+// benchConfig is a representative closed-loop scenario: a braking lead
+// plus a slow neighbor, 20 s at 10 ms steps with the default rig.
+func benchConfig(record trace.Level) Config {
+	cfg := baseConfig("bench")
+	cfg.DesiredSpeed = units.MPHToMPS(60)
+	cfg.EgoInit = vehicle.FrenetState{S: 0, D: 3.5, Speed: cfg.DesiredSpeed}
+	cfg.Road = road.NewStraight(3, 5000)
+	cfg.Record = record
+	cfg.Actors = []ActorSpec{
+		{ID: "lead", Params: vehicle.Car(), Init: vehicle.FrenetState{S: 60, D: 3.5, Speed: cfg.DesiredSpeed * 0.8}},
+		{ID: "neighbor", Params: vehicle.Car(), Init: vehicle.FrenetState{S: 30, D: 7.0, Speed: cfg.DesiredSpeed * 0.9}},
+	}
+	return cfg
+}
+
+func benchmarkStep(b *testing.B, record trace.Level) {
+	cfg := benchConfig(record)
+	steps := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s.Step() {
+			steps++
+		}
+		if res := s.Result(); res.Level != record {
+			b.Fatal("wrong level")
+		}
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+}
+
+// BenchmarkStep measures one full run through the stage pipeline per
+// recording level; allocs/op is the step path's allocation budget the
+// CI gate (TestStepAllocationBudget) enforces.
+func BenchmarkStep(b *testing.B) {
+	b.Run("full", func(b *testing.B) { benchmarkStep(b, trace.LevelFull) })
+	b.Run("summary", func(b *testing.B) { benchmarkStep(b, trace.LevelSummary) })
+	b.Run("off", func(b *testing.B) { benchmarkStep(b, trace.LevelOff) })
+}

@@ -1,0 +1,70 @@
+package sim_test
+
+// Campaign-scale benchmarks comparing the recording levels and the
+// frozen pre-refactor loop on the paper-protocol workload: every
+// Table-1 scenario at every Table-1 rate, ten seeds each (1080
+// points), scheduled through the run engine exactly as `zhuyi
+// campaign` would. scripts/bench_sim.sh renders these into
+// BENCH_sim.json and gates the summary-vs-legacy speedup.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func campaignJobs() []engine.Job {
+	var jobs []engine.Job
+	for _, sc := range scenario.All() {
+		for _, fpr := range metrics.DefaultFPRGrid() {
+			for seed := int64(1); seed <= 10; seed++ {
+				jobs = append(jobs, engine.Job{Scenario: sc, FPR: fpr, Seed: seed})
+			}
+		}
+	}
+	return jobs
+}
+
+func benchmarkCampaign(b *testing.B, opts engine.Options) {
+	jobs := campaignJobs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(opts)
+		br, err := eng.RunBatch(context.Background(), jobs)
+		eng.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if br.Stats.Executed != len(jobs) {
+			b.Fatalf("executed %d of %d points", br.Stats.Executed, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "points/op")
+}
+
+// BenchmarkCampaignLegacyLoop runs the campaign through the frozen
+// pre-refactor monolithic loop (always-full recording, per-step
+// allocation): the baseline this PR's sim-to-server hot path is
+// measured against.
+func BenchmarkCampaignLegacyLoop(b *testing.B) {
+	benchmarkCampaign(b, engine.Options{Runner: func(j engine.Job) (*sim.Result, error) {
+		return legacyRun(j.Scenario.Build(j.FPR, j.Seed))
+	}})
+}
+
+// BenchmarkCampaignFullTrace is the steppable core at full recording.
+func BenchmarkCampaignFullTrace(b *testing.B) {
+	benchmarkCampaign(b, engine.Options{Record: trace.LevelFull})
+}
+
+// BenchmarkCampaignSummaryOnly is the steppable core at summary level:
+// the configuration the campaign server, MRF searches, and corpus
+// sweeps run at.
+func BenchmarkCampaignSummaryOnly(b *testing.B) {
+	benchmarkCampaign(b, engine.Options{Record: trace.LevelSummary})
+}

@@ -9,12 +9,38 @@
 // collision outcome depends on the configured frame processing rate,
 // which it does here through perception staleness and K-frame actor
 // confirmation.
+//
+// # Steppable core
+//
+// The simulator is a Simulation value advanced one time-step at a time:
+// New(cfg) validates and positions it before step 0, Step() runs one
+// fixed-dt instant through the stage pipeline, Done() reports
+// completion, and Result() returns the outcome. Run is the convenience
+// loop over exactly that API. Each step executes the stages in order:
+//
+//	ground truth → collision check → camera schedule → perception →
+//	planning → rate control → record → dynamics
+//
+// (StageNames lists them). The seams let callers interpose between
+// steps — per-stage perception monitors, latency models, alternative
+// planners probe the simulation state mid-run instead of parsing a
+// finished trace.
+//
+// # Recording levels
+//
+// Config.Record selects how much of the run is materialized
+// (trace.LevelFull / LevelSummary / LevelOff). Summary consumers — MRF
+// collision waves, campaign servers streaming per-point summaries,
+// corpus sweeps — skip the per-step row recording entirely, which is
+// the dominant allocation of a run; the summary fields (collision, min
+// bumper gap, frames processed, ego stopped) are computed at every
+// level. Only LevelFull results are archivable by the persistent store.
 package sim
 
 import (
 	"fmt"
-	"math"
-	"sort"
+	"maps"
+	"slices"
 
 	"repro/internal/behavior"
 	"repro/internal/perception"
@@ -48,7 +74,9 @@ type ActorSpec struct {
 type RateController interface {
 	// Rates returns the desired FPR per camera name given the current
 	// perceived world model. Cameras absent from the result keep their
-	// previous rate.
+	// previous rate. The wm slice is scratch the simulator reuses
+	// between invocations: copy it if the controller retains state
+	// across calls.
 	Rates(now float64, ego world.Agent, wm []world.Agent) map[string]float64
 }
 
@@ -72,166 +100,43 @@ type Config struct {
 	RateController RateController
 	RateEpoch      float64 // controller invocation period, s; 0 defaults to 0.1
 
+	// Record selects the trace recording level. The zero value is
+	// trace.LevelFull (every row, archivable); LevelSummary and
+	// LevelOff skip row materialization for summary-only consumers.
+	Record trace.Level
+
 	Seed            int64
 	StopOnCollision bool
 }
 
 // Result is the outcome of a run.
 type Result struct {
+	// Trace is the recorded execution: all rows at trace.LevelFull,
+	// header-only (Meta and Collision, no rows) at LevelSummary, nil at
+	// LevelOff.
 	Trace           *trace.Trace
 	Collision       *trace.Collision
 	FramesProcessed map[string]int
 	MinBumperGap    float64 // closest longitudinal approach to any in-corridor actor, m
 	EgoStopped      bool    // the ego came to a complete stop at least once
+	// Level is the recording level the run executed at. The persistent
+	// store refuses to archive anything but trace.LevelFull.
+	Level trace.Level
 }
 
 // Collided reports whether the run ended in a collision.
 func (r *Result) Collided() bool { return r.Collision != nil }
 
-// Run executes the scenario and returns the recorded result.
+// Run executes the scenario to completion and returns the recorded
+// result: the convenience loop over New / Step / Result.
 func Run(cfg Config) (*Result, error) {
-	if err := validate(&cfg); err != nil {
+	s, err := New(cfg)
+	if err != nil {
 		return nil, err
 	}
-
-	rig := cfg.Rig
-	pl := planner.New(plannerConfig(cfg), cfg.Road)
-	pipe := perception.NewPipeline(cfg.Perception, cfg.Seed)
-
-	egoState := cfg.EgoInit
-	appliedAccel := 0.0
-
-	type actorRT struct {
-		spec  ActorSpec
-		state vehicle.FrenetState
+	for s.Step() {
 	}
-	actors := make([]*actorRT, len(cfg.Actors))
-	for i, spec := range cfg.Actors {
-		actors[i] = &actorRT{spec: spec, state: spec.Init}
-	}
-
-	rates := make(map[string]float64, len(rig))
-	nextFrame := make(map[string]float64, len(rig))
-	frames := make(map[string]int, len(rig))
-	for _, c := range rig {
-		rates[c.Name] = cfg.FPR
-		nextFrame[c.Name] = 0
-	}
-
-	tr := &trace.Trace{Meta: trace.Meta{
-		Scenario: cfg.Name,
-		FPR:      cfg.FPR,
-		Seed:     cfg.Seed,
-		Dt:       cfg.Dt,
-		Cameras:  rig.Names(),
-	}}
-	res := &Result{Trace: tr, FramesProcessed: frames, MinBumperGap: math.Inf(1)}
-
-	nextRateUpdate := 0.0
-	steps := int(math.Round(cfg.Duration / cfg.Dt))
-	for step := 0; step <= steps; step++ {
-		t := float64(step) * cfg.Dt
-
-		// Ground truth for this instant.
-		egoAgent := egoState.ToAgent(cfg.Road, world.EgoID, cfg.EgoParams)
-		egoAgent.Accel = appliedAccel
-		actorAgents := make([]world.Agent, len(actors))
-		for i, a := range actors {
-			actorAgents[i] = a.state.ToAgent(cfg.Road, a.spec.ID, a.spec.Params)
-		}
-
-		// Collision detection.
-		if res.Collision == nil {
-			egoBox := egoAgent.BBox()
-			for _, a := range actorAgents {
-				if egoBox.Intersects(a.BBox()) {
-					res.Collision = &trace.Collision{Time: t, ActorID: a.ID}
-					break
-				}
-			}
-		}
-		if res.Collision != nil && cfg.StopOnCollision {
-			break
-		}
-
-		// Closest-approach bookkeeping.
-		updateMinGap(res, cfg.Road, egoState, egoAgent, actorAgents)
-
-		// Camera frames due at this step.
-		for _, cam := range rig {
-			if t+1e-9 < nextFrame[cam.Name] {
-				continue
-			}
-			pipe.ProcessFrame(cam, t, egoAgent, actorAgents)
-			frames[cam.Name]++
-			rate := rates[cam.Name]
-			if rate <= 0 {
-				rate = 1
-			}
-			// Advance the schedule from the previous due time, not from t,
-			// so the fixed step grid does not quantize the effective rate
-			// down (e.g. a 33.3 ms interval snapping to 40 ms).
-			next := nextFrame[cam.Name] + 1/rate
-			if next <= t {
-				next = t + 1/rate
-			}
-			nextFrame[cam.Name] = next
-		}
-
-		// Perceived world model and planning.
-		wm := pipe.WorldModel(t)
-		dec := pl.Plan(egoState, cfg.EgoParams, wm)
-		appliedAccel = cfg.EgoParams.ClampAccel(dec.Accel, egoState.Speed)
-		egoAgent.Accel = appliedAccel
-
-		// Dynamic rate control.
-		if cfg.RateController != nil && t+1e-9 >= nextRateUpdate {
-			for name, r := range cfg.RateController.Rates(t, egoAgent, wm) {
-				if _, ok := rates[name]; ok && r > 0 {
-					rates[name] = r
-				}
-			}
-			nextRateUpdate = t + cfg.RateEpoch
-		}
-
-		// Record. Per-row rates only exist under dynamic rate control;
-		// fixed-rate runs leave Rates nil and readers fall back to
-		// Meta.FPR (trace.OperatingRate). Recording the identical map on
-		// every row would bloat each archived trace by thousands of
-		// redundant entries and dominate replay decode time.
-		var rowRates map[string]float64
-		if cfg.RateController != nil {
-			rowRates = snapshotRates(rates)
-		}
-		tr.Rows = append(tr.Rows, trace.Row{
-			Time:     t,
-			Ego:      egoAgent,
-			Actors:   actorAgents,
-			CmdAccel: appliedAccel,
-			AEB:      dec.AEB,
-			Rates:    rowRates,
-		})
-
-		// Advance dynamics.
-		egoState.Accel = appliedAccel
-		egoState = egoState.Step(cfg.Dt)
-		if egoState.Speed == 0 {
-			res.EgoStopped = true
-		}
-		ctx := behavior.Context{Time: t, Road: cfg.Road, Ego: egoState}
-		for _, a := range actors {
-			if a.spec.Script != nil {
-				a.state = a.spec.Script.Step(ctx, a.state, cfg.Dt)
-			} else {
-				a.state = a.state.Step(cfg.Dt)
-			}
-		}
-	}
-
-	if res.Collision != nil {
-		tr.Collision = res.Collision
-	}
-	return res, nil
+	return s.Result(), nil
 }
 
 // ValidateConfig checks a configuration the same way Run does —
@@ -260,6 +165,9 @@ func validate(cfg *Config) error {
 	if cfg.FPR <= 0 {
 		return fmt.Errorf("sim: non-positive FPR %v", cfg.FPR)
 	}
+	if cfg.Record > trace.LevelOff {
+		return fmt.Errorf("sim: invalid recording level %d", cfg.Record)
+	}
 	if cfg.Rig == nil {
 		cfg.Rig = sensor.DefaultRig()
 	}
@@ -286,34 +194,13 @@ func plannerConfig(cfg Config) planner.Config {
 	return planner.DefaultConfig(cfg.DesiredSpeed, cfg.EgoParams)
 }
 
-func updateMinGap(res *Result, r *road.Road, ego vehicle.FrenetState, egoAgent world.Agent, actors []world.Agent) {
-	for _, a := range actors {
-		s, d := r.Frenet(a.Pose.Pos)
-		if math.Abs(d-ego.D) > 2.2 {
-			continue
-		}
-		gap := math.Abs(s-ego.S) - (egoAgent.Length+a.Length)/2
-		if gap < res.MinBumperGap {
-			res.MinBumperGap = gap
-		}
-	}
-}
-
+// snapshotRates copies the live per-camera rate map for one trace row.
 func snapshotRates(rates map[string]float64) map[string]float64 {
-	out := make(map[string]float64, len(rates))
-	for k, v := range rates {
-		out[k] = v
-	}
-	return out
+	return maps.Clone(rates)
 }
 
 // SortedCameraNames returns rate-map keys in stable order (helper for
 // deterministic reporting).
 func SortedCameraNames(rates map[string]float64) []string {
-	names := make([]string, 0, len(rates))
-	for k := range rates {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
+	return slices.Sorted(maps.Keys(rates))
 }

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/behavior"
+	"repro/internal/geom"
+	"repro/internal/perception"
+	"repro/internal/planner"
+	"repro/internal/trace"
+	"repro/internal/vehicle"
+	"repro/internal/world"
+)
+
+// actorRT is one scripted actor's runtime state.
+type actorRT struct {
+	spec  ActorSpec
+	state vehicle.FrenetState
+}
+
+// stage is one named phase of a simulation step. Stages run in
+// pipeline order; a stage that finishes the run (collision with
+// StopOnCollision) short-circuits the rest of the step.
+type stage struct {
+	name string
+	run  func(*Simulation)
+}
+
+// pipeline is the per-step stage order. Method values carry no
+// closure state, so building the table allocates nothing per step.
+func pipeline() []stage {
+	return []stage{
+		{"ground-truth", (*Simulation).stageGroundTruth},
+		{"collision-check", (*Simulation).stageCollision},
+		{"camera-schedule", (*Simulation).stageCameras},
+		{"perception", (*Simulation).stagePerception},
+		{"planning", (*Simulation).stagePlanning},
+		{"rate-control", (*Simulation).stageRateControl},
+		{"record", (*Simulation).stageRecord},
+		{"dynamics", (*Simulation).stageDynamics},
+	}
+}
+
+// StageNames lists the per-step stage pipeline in execution order.
+func StageNames() []string {
+	stages := pipeline()
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		names[i] = st.name
+	}
+	return names
+}
+
+// Simulation is a closed-loop run advanced one fixed-dt step at a
+// time. Construct with New, drive with Step until it reports false
+// (or Done), and read the outcome with Result. The per-step
+// accessors (Time, Ego, Actors, WorldModel, Rates) expose the live
+// state between steps, which is the seam stage plug-ins — perception
+// monitors, latency models, alternative planners — observe the run
+// through without waiting for a finished trace.
+//
+// A Simulation is single-goroutine; the engine provides concurrency
+// across runs, not within one.
+type Simulation struct {
+	cfg    Config
+	stages []stage
+
+	pl   *planner.Planner
+	pipe *perception.Pipeline
+
+	res *Result
+	tr  *trace.Trace
+
+	egoState     vehicle.FrenetState
+	appliedAccel float64
+	actors       []actorRT
+
+	rates     map[string]float64
+	nextFrame []float64 // next frame due per rig camera, s
+	frames    map[string]int
+
+	// Footprint radius bounds (world.FootprintRadiusBound) for the
+	// collision pre-filter, fixed per run.
+	egoDiag   float64
+	actorDiag []float64
+
+	steps, step    int
+	done           bool
+	nextRateUpdate float64
+
+	// Per-step working state, valid between stages of the current step.
+	t           float64
+	egoAgent    world.Agent
+	actorAgents []world.Agent
+	dec         planner.Decision
+	wm          []world.Agent // perceived world model scratch, reused
+
+	// rowActors is the LevelFull per-row actor storage: one backing
+	// array carved into a disjoint sub-slice per recorded row, so the
+	// hot loop never allocates per step while every row still owns its
+	// actor states.
+	rowActors []world.Agent
+	// scratch is the Summary/Off ground-truth buffer, reused every step
+	// (no rows retain it).
+	scratch []world.Agent
+}
+
+// New validates the configuration and returns a simulation positioned
+// before step 0. Defaults (dt, rig, perception, rate epoch) are
+// applied to the simulation's private copy of cfg.
+func New(cfg Config) (*Simulation, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+
+	s := &Simulation{
+		cfg:    cfg,
+		stages: pipeline(),
+		pl:     planner.New(plannerConfig(cfg), cfg.Road),
+		pipe:   perception.NewPipeline(cfg.Perception, cfg.Seed),
+
+		egoState: cfg.EgoInit,
+		actors:   make([]actorRT, len(cfg.Actors)),
+
+		rates:     make(map[string]float64, len(cfg.Rig)),
+		nextFrame: make([]float64, len(cfg.Rig)),
+		frames:    make(map[string]int, len(cfg.Rig)),
+
+		steps: int(math.Round(cfg.Duration / cfg.Dt)),
+	}
+	s.egoDiag = world.FootprintRadiusBound(cfg.EgoParams.Length, cfg.EgoParams.Width)
+	s.actorDiag = make([]float64, len(cfg.Actors))
+	for i, spec := range cfg.Actors {
+		s.actors[i] = actorRT{spec: spec, state: spec.Init}
+		s.actorDiag[i] = world.FootprintRadiusBound(spec.Params.Length, spec.Params.Width)
+	}
+	for _, c := range cfg.Rig {
+		s.rates[c.Name] = cfg.FPR
+	}
+
+	if cfg.Record != trace.LevelOff {
+		s.tr = &trace.Trace{Meta: trace.Meta{
+			Scenario: cfg.Name,
+			FPR:      cfg.FPR,
+			Seed:     cfg.Seed,
+			Dt:       cfg.Dt,
+			Cameras:  cfg.Rig.Names(),
+		}}
+	}
+	if cfg.Record == trace.LevelFull {
+		s.tr.Rows = make([]trace.Row, 0, s.steps+1)
+		s.rowActors = make([]world.Agent, (s.steps+1)*len(s.actors))
+	} else {
+		s.scratch = make([]world.Agent, 0, len(s.actors))
+	}
+	s.res = &Result{
+		Trace:           s.tr,
+		FramesProcessed: s.frames,
+		MinBumperGap:    math.Inf(1),
+		Level:           cfg.Record,
+	}
+	return s, nil
+}
+
+// Step advances the simulation by one time-step, running the stage
+// pipeline for the current instant. It reports whether more steps
+// remain; it is a no-op returning false once the run has finished.
+func (s *Simulation) Step() bool {
+	if s.done {
+		return false
+	}
+	s.t = float64(s.step) * s.cfg.Dt
+	for _, st := range s.stages {
+		st.run(s)
+		if s.done {
+			return false
+		}
+	}
+	s.step++
+	if s.step > s.steps {
+		s.done = true
+	}
+	return !s.done
+}
+
+// Done reports whether the run has finished: every step executed, or a
+// collision ended it under StopOnCollision.
+func (s *Simulation) Done() bool { return s.done }
+
+// Result returns the run outcome. It may be read mid-run (external
+// drivers that stop early still get a coherent summary); the trace
+// mirror of the collision is refreshed on every call.
+func (s *Simulation) Result() *Result {
+	if s.tr != nil {
+		s.tr.Collision = s.res.Collision
+	}
+	return s.res
+}
+
+// Time returns the simulation time of the next step to execute (or,
+// mid-pipeline, of the executing step).
+func (s *Simulation) Time() float64 { return float64(s.step) * s.cfg.Dt }
+
+// StepIndex returns the index of the next step to execute.
+func (s *Simulation) StepIndex() int { return s.step }
+
+// Steps returns the total step count of a full-length run (the final
+// step index is Steps, giving Steps+1 recorded instants).
+func (s *Simulation) Steps() int { return s.steps }
+
+// Ego returns the ego's ground-truth agent state as of the most
+// recently executed ground-truth stage.
+func (s *Simulation) Ego() world.Agent { return s.egoAgent }
+
+// Actors returns the ground-truth actor states of the current step.
+// The slice is live simulation state: read, don't hold.
+func (s *Simulation) Actors() []world.Agent { return s.actorAgents }
+
+// WorldModel returns the perceived world model of the current step.
+// The slice is scratch the simulation reuses: read, don't hold.
+func (s *Simulation) WorldModel() []world.Agent { return s.wm }
+
+// Rates returns a snapshot of the per-camera operating rates.
+func (s *Simulation) Rates() map[string]float64 { return snapshotRates(s.rates) }
+
+// stageGroundTruth materializes the ground-truth scene for this
+// instant: the ego agent carrying the previously applied acceleration
+// and every scripted actor's current state.
+func (s *Simulation) stageGroundTruth() {
+	s.egoAgent = s.egoState.ToAgent(s.cfg.Road, world.EgoID, s.cfg.EgoParams)
+	s.egoAgent.Accel = s.appliedAccel
+
+	dst := s.scratch[:0]
+	if s.cfg.Record == trace.LevelFull {
+		// Carve this row's disjoint slice out of the preallocated
+		// backing array; the record stage hands it to the trace row.
+		base := s.step * len(s.actors)
+		dst = s.rowActors[base : base : base+len(s.actors)]
+	}
+	for i := range s.actors {
+		a := &s.actors[i]
+		dst = append(dst, a.state.ToAgent(s.cfg.Road, a.spec.ID, a.spec.Params))
+	}
+	s.actorAgents = dst
+}
+
+// stageCollision detects the first ego collision, ends the run if
+// configured to stop on it, and maintains the closest-approach
+// bookkeeping. A bounding-circle pre-filter (precomputed footprint
+// half-diagonals plus a rounding margin) skips the exact OBB
+// intersection for actors that provably cannot touch the ego; the
+// detected collisions are exactly those of the plain OBB sweep.
+func (s *Simulation) stageCollision() {
+	if s.res.Collision == nil {
+		var egoBox geom.OBB
+		haveBox := false
+		for i, a := range s.actorAgents {
+			dx := a.Pose.Pos.X - s.egoAgent.Pose.Pos.X
+			dy := a.Pose.Pos.Y - s.egoAgent.Pose.Pos.Y
+			reach := s.egoDiag + s.actorDiag[i]
+			if dx*dx+dy*dy > reach*reach {
+				continue
+			}
+			if !haveBox {
+				egoBox = s.egoAgent.BBox()
+				haveBox = true
+			}
+			if egoBox.Intersects(a.BBox()) {
+				s.res.Collision = &trace.Collision{Time: s.t, ActorID: a.ID}
+				break
+			}
+		}
+	}
+	if s.res.Collision != nil && s.cfg.StopOnCollision {
+		s.done = true
+		return
+	}
+	s.updateMinGap()
+}
+
+func (s *Simulation) updateMinGap() {
+	for _, a := range s.actorAgents {
+		as, d := s.cfg.Road.Frenet(a.Pose.Pos)
+		if math.Abs(d-s.egoState.D) > 2.2 {
+			continue
+		}
+		gap := math.Abs(as-s.egoState.S) - (s.egoAgent.Length+a.Length)/2
+		if gap < s.res.MinBumperGap {
+			s.res.MinBumperGap = gap
+		}
+	}
+}
+
+// stageCameras processes every camera frame due at this instant and
+// advances each camera's schedule by its current operating rate.
+func (s *Simulation) stageCameras() {
+	for ci := range s.cfg.Rig {
+		cam := s.cfg.Rig[ci]
+		if s.t+1e-9 < s.nextFrame[ci] {
+			continue
+		}
+		s.pipe.ProcessFrame(cam, s.t, s.egoAgent, s.actorAgents)
+		s.frames[cam.Name]++
+		rate := s.rates[cam.Name]
+		if rate <= 0 {
+			rate = 1
+		}
+		// Advance the schedule from the previous due time, not from t,
+		// so the fixed step grid does not quantize the effective rate
+		// down (e.g. a 33.3 ms interval snapping to 40 ms).
+		next := s.nextFrame[ci] + 1/rate
+		if next <= s.t {
+			next = s.t + 1/rate
+		}
+		s.nextFrame[ci] = next
+	}
+}
+
+// stagePerception coasts every confirmed track to this instant,
+// producing the perceived world model the planner consumes.
+func (s *Simulation) stagePerception() {
+	s.wm = s.pipe.WorldModelAppend(s.wm[:0], s.t)
+}
+
+// stagePlanning runs the driving policy on the perceived world and
+// clamps the command to the vehicle's envelope.
+func (s *Simulation) stagePlanning() {
+	s.dec = s.pl.Plan(s.egoState, s.cfg.EgoParams, s.wm)
+	s.appliedAccel = s.cfg.EgoParams.ClampAccel(s.dec.Accel, s.egoState.Speed)
+	s.egoAgent.Accel = s.appliedAccel
+}
+
+// stageRateControl invokes the dynamic rate controller on its epoch.
+func (s *Simulation) stageRateControl() {
+	if s.cfg.RateController == nil || s.t+1e-9 < s.nextRateUpdate {
+		return
+	}
+	for name, r := range s.cfg.RateController.Rates(s.t, s.egoAgent, s.wm) {
+		if _, ok := s.rates[name]; ok && r > 0 {
+			s.rates[name] = r
+		}
+	}
+	s.nextRateUpdate = s.t + s.cfg.RateEpoch
+}
+
+// stageRecord appends this instant's trace row at trace.LevelFull;
+// summary levels skip row materialization entirely. Per-row rates
+// only exist under dynamic rate control; fixed-rate runs leave Rates
+// nil and readers fall back to Meta.FPR (trace.OperatingRate).
+// Recording the identical map on every row would bloat each archived
+// trace by thousands of redundant entries and dominate replay decode
+// time.
+func (s *Simulation) stageRecord() {
+	if s.cfg.Record != trace.LevelFull {
+		return
+	}
+	var rowRates map[string]float64
+	if s.cfg.RateController != nil {
+		rowRates = snapshotRates(s.rates)
+	}
+	s.tr.Rows = append(s.tr.Rows, trace.Row{
+		Time:     s.t,
+		Ego:      s.egoAgent,
+		Actors:   s.actorAgents,
+		CmdAccel: s.appliedAccel,
+		AEB:      s.dec.AEB,
+		Rates:    rowRates,
+	})
+}
+
+// stageDynamics integrates the ego and every scripted actor forward
+// one dt.
+func (s *Simulation) stageDynamics() {
+	s.egoState.Accel = s.appliedAccel
+	s.egoState = s.egoState.Step(s.cfg.Dt)
+	if s.egoState.Speed == 0 {
+		s.res.EgoStopped = true
+	}
+	ctx := behavior.Context{Time: s.t, Road: s.cfg.Road, Ego: s.egoState}
+	for i := range s.actors {
+		a := &s.actors[i]
+		if a.spec.Script != nil {
+			a.state = a.spec.Script.Step(ctx, a.state, s.cfg.Dt)
+		} else {
+			a.state = a.state.Step(s.cfg.Dt)
+		}
+	}
+}

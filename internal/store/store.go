@@ -278,6 +278,15 @@ func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, e
 	if res == nil || res.Trace == nil {
 		return Entry{}, false, fmt.Errorf("store: put %s: nil result or trace", scenarioName)
 	}
+	// Only full-level results are archivable: a Summary/Off run has no
+	// rows, so archiving it would let the persistent tier later serve a
+	// trace-less reconstruction as a disk hit (replay and EvaluateTrace
+	// would see an empty run where a recorded one is claimed).
+	if res.Level != trace.LevelFull {
+		return Entry{}, false, fmt.Errorf(
+			"store: put %s: refusing to archive a %s-level result (only %s traces are archivable)",
+			scenarioName, res.Level, trace.LevelFull)
+	}
 	s.mu.Lock()
 	existing, exists := s.index[k]
 	closed := s.manifest == nil
@@ -443,6 +452,7 @@ func (s *Store) Get(k Key) (*sim.Result, bool, error) {
 		FramesProcessed: e.FramesProcessed,
 		MinBumperGap:    e.MinBumperGap,
 		EgoStopped:      e.EgoStopped,
+		Level:           trace.LevelFull, // only full traces are ever archived
 	}
 	if res.FramesProcessed == nil {
 		res.FramesProcessed = map[string]int{}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Level selects how much of a run the simulator records. The zero
+// value is LevelFull, so existing configurations keep their behavior;
+// summary consumers (MRF collision waves, the campaign server's
+// NDJSON stream, corpus sweeps) drop to LevelSummary and skip the
+// per-step row materialization entirely — the dominant allocation of
+// a run.
+type Level uint8
+
+// Recording levels, from most to least recorded.
+const (
+	// LevelFull records every time-step row: the trace is archivable,
+	// replayable, and evaluable offline. The only level the persistent
+	// store accepts.
+	LevelFull Level = iota
+	// LevelSummary keeps the trace header (Meta, Collision) but records
+	// no rows; the run's summary fields (collision, min bumper gap,
+	// frames processed, ego stopped) are still computed.
+	LevelSummary
+	// LevelOff records no trace at all (Result.Trace is nil); only the
+	// summary fields survive.
+	LevelOff
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelSummary:
+		return "summary"
+	case LevelOff:
+		return "off"
+	default:
+		return "full"
+	}
+}
+
+// ParseLevel parses a recording level name as accepted by CLI flags
+// and spec files: "full", "summary", or "off".
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "full", "":
+		return LevelFull, nil
+	case "summary":
+		return LevelSummary, nil
+	case "off":
+		return LevelOff, nil
+	default:
+		return LevelFull, fmt.Errorf("trace: unknown recording level %q (full, summary, off)", s)
+	}
+}
+
+// MarshalJSON encodes the level by name, keeping spec files and wire
+// payloads readable ("summary", not 1).
+func (l Level) MarshalJSON() ([]byte, error) {
+	if l > LevelOff {
+		return nil, fmt.Errorf("trace: invalid recording level %d", l)
+	}
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON accepts a level name or its integer encoding.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		lv, err := ParseLevel(s)
+		if err != nil {
+			return err
+		}
+		*l = lv
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("trace: recording level must be a name or 0..2: %s", data)
+	}
+	if n > uint8(LevelOff) {
+		return fmt.Errorf("trace: recording level %d outside 0..2", n)
+	}
+	*l = Level(n)
+	return nil
+}

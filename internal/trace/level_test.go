@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLevelStringParseRoundTrip(t *testing.T) {
+	for _, lvl := range []Level{LevelFull, LevelSummary, LevelOff} {
+		got, err := ParseLevel(lvl.String())
+		if err != nil || got != lvl {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", lvl.String(), got, err, lvl)
+		}
+	}
+	if lvl, err := ParseLevel(""); err != nil || lvl != LevelFull {
+		t.Errorf("empty level = %v, %v; want full", lvl, err)
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("unknown level name parsed")
+	}
+}
+
+func TestLevelJSONRoundTrip(t *testing.T) {
+	for _, lvl := range []Level{LevelFull, LevelSummary, LevelOff} {
+		b, err := json.Marshal(lvl)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", lvl, err)
+		}
+		var got Level
+		if err := json.Unmarshal(b, &got); err != nil || got != lvl {
+			t.Errorf("round trip %v via %s = %v, %v", lvl, b, got, err)
+		}
+	}
+	// Integer encodings (hand-written spec files) are accepted too.
+	var got Level
+	if err := json.Unmarshal([]byte("1"), &got); err != nil || got != LevelSummary {
+		t.Errorf("unmarshal 1 = %v, %v; want summary", got, err)
+	}
+	for _, bad := range []string{`"loud"`, "7", "-1", "1.5", "{}"} {
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("unmarshal %s succeeded", bad)
+		}
+	}
+	if _, err := json.Marshal(Level(9)); err == nil {
+		t.Error("marshal of invalid level succeeded")
+	}
+}

@@ -34,6 +34,19 @@ type Agent struct {
 // BBox returns the collision footprint of the agent.
 func (a Agent) BBox() geom.OBB { return geom.NewOBB(a.Pose, a.Length, a.Width) }
 
+// FootprintRadiusBound returns a cheap, strict upper bound on the
+// footprint's half-diagonal — every point of an L×W box lies within
+// this radius of its center: (L+W)/2 ≥ √((L/2)²+(W/2)²), no sqrt
+// needed. A fixed margin absorbs floating-point rounding so hot-path
+// pre-filters built on the bound (the simulator's collision sweep, the
+// sensor cone rejects) stay strictly conservative: borderline cases
+// always fall through to the exact geometry, so the pre-filtered
+// decision never differs from the unfiltered one.
+func FootprintRadiusBound(length, width float64) float64 {
+	const margin = 1e-6
+	return (length+width)/2 + margin
+}
+
 // Velocity returns the world-frame velocity vector: longitudinal speed
 // along the heading plus lateral velocity to the left.
 func (a Agent) Velocity() geom.Vec2 {

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Renders BENCH_sim.json from the steppable-core benchmarks (see
+# internal/sim/bench_test.go and campaign_bench_test.go) and gates the
+# headline speedup: a summary-level campaign must run at least 1.5x
+# the throughput of the pre-refactor full-level loop (the frozen
+# legacyRun baseline this PR replaced).
+#
+# Usage: scripts/bench_sim.sh [output.json]
+#   BENCH_TIME=3x scripts/bench_sim.sh   # more iterations per bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sim.json}"
+benchtime="${BENCH_TIME:-2x}"
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkStep$|BenchmarkStepLegacyLoop$|BenchmarkCampaign(LegacyLoop|FullTrace|SummaryOnly)$' \
+	-benchtime "$benchtime" ./internal/sim)
+echo "$raw"
+
+cpu=$(echo "$raw" | awk -F': ' '/^cpu:/ {print $2}')
+
+# Benchmark lines look like:
+#   BenchmarkStep/full-4  10  3898707 ns/op  2000 steps/op  705779 B/op  28 allocs/op
+# metric() pulls one "<value> <unit>" field for a benchmark name
+# (CPU-count suffix stripped).
+metric() { # metric <name> <unit>
+	echo "$raw" | awk -v want="$1" -v unit="$2" '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (name != want) next
+			for (i = 2; i < NF; i++) if ($(i + 1) == unit) { print $i; exit }
+		}'
+}
+
+need() {
+	v=$(metric "$1" "$2")
+	if [ -z "$v" ]; then
+		echo "bench_sim: no $2 for $1" >&2
+		exit 1
+	fi
+	echo "$v"
+}
+
+step_legacy_ns=$(need BenchmarkStepLegacyLoop ns/op)
+step_legacy_allocs=$(need BenchmarkStepLegacyLoop allocs/op)
+step_full_ns=$(need BenchmarkStep/full ns/op)
+step_full_allocs=$(need BenchmarkStep/full allocs/op)
+step_summary_ns=$(need BenchmarkStep/summary ns/op)
+step_summary_allocs=$(need BenchmarkStep/summary allocs/op)
+step_off_ns=$(need BenchmarkStep/off ns/op)
+step_off_allocs=$(need BenchmarkStep/off allocs/op)
+camp_legacy_ns=$(need BenchmarkCampaignLegacyLoop ns/op)
+camp_legacy_bytes=$(need BenchmarkCampaignLegacyLoop B/op)
+camp_legacy_allocs=$(need BenchmarkCampaignLegacyLoop allocs/op)
+camp_full_ns=$(need BenchmarkCampaignFullTrace ns/op)
+camp_full_bytes=$(need BenchmarkCampaignFullTrace B/op)
+camp_full_allocs=$(need BenchmarkCampaignFullTrace allocs/op)
+camp_summary_ns=$(need BenchmarkCampaignSummaryOnly ns/op)
+camp_summary_bytes=$(need BenchmarkCampaignSummaryOnly B/op)
+camp_summary_allocs=$(need BenchmarkCampaignSummaryOnly allocs/op)
+points=$(need BenchmarkCampaignSummaryOnly points/op)
+
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+r_summary_vs_legacy=$(ratio "$camp_legacy_ns" "$camp_summary_ns")
+r_full_vs_legacy=$(ratio "$camp_legacy_ns" "$camp_full_ns")
+r_summary_vs_full=$(ratio "$camp_full_ns" "$camp_summary_ns")
+r_step_alloc_drop=$(ratio "$step_legacy_allocs" "$step_summary_allocs")
+
+cat > "$out" <<JSON
+{
+  "generated_by": "scripts/bench_sim.sh (benchtime $benchtime)",
+  "cpu": "$cpu",
+  "workload": {
+    "step": "one 20 s / dt 10 ms closed-loop run (2 actors, default 5-camera rig, 30 FPR); see internal/sim/bench_test.go",
+    "campaign": "$points engine-scheduled points: 9 Table-1 scenarios x 12-rate Table-1 grid x 10 seeds; see internal/sim/campaign_bench_test.go"
+  },
+  "step": {
+    "legacy_loop": { "ns_per_run": $step_legacy_ns, "allocs_per_run": $step_legacy_allocs },
+    "full":        { "ns_per_run": $step_full_ns, "allocs_per_run": $step_full_allocs },
+    "summary":     { "ns_per_run": $step_summary_ns, "allocs_per_run": $step_summary_allocs },
+    "off":         { "ns_per_run": $step_off_ns, "allocs_per_run": $step_off_allocs }
+  },
+  "campaign": {
+    "legacy_loop": { "ns_per_campaign": $camp_legacy_ns, "bytes_per_campaign": $camp_legacy_bytes, "allocs_per_campaign": $camp_legacy_allocs },
+    "full":        { "ns_per_campaign": $camp_full_ns, "bytes_per_campaign": $camp_full_bytes, "allocs_per_campaign": $camp_full_allocs },
+    "summary":     { "ns_per_campaign": $camp_summary_ns, "bytes_per_campaign": $camp_summary_bytes, "allocs_per_campaign": $camp_summary_allocs }
+  },
+  "ratios": {
+    "campaign_summary_vs_prerefactor": $r_summary_vs_legacy,
+    "campaign_full_vs_prerefactor": $r_full_vs_legacy,
+    "campaign_summary_vs_full": $r_summary_vs_full,
+    "step_allocs_prerefactor_vs_summary": $r_step_alloc_drop
+  },
+  "notes": [
+    "legacy_loop is the frozen pre-refactor sim.Run (golden_equiv_test.go), i.e. the throughput campaigns had before this refactor; it runs on today's subsystem code, so the comparison isolates the loop structure, recording level, and allocation diet.",
+    "summary-vs-full is smaller than summary-vs-prerefactor because the simulator's closed-loop compute (sensor cones, perception filters, IDM planning) dominates a step once recording no longer allocates; the recording level removes the trace materialization, the stage refactor removed the per-step allocation churn.",
+    "docs/benchmarks.md explains every series; regenerate with scripts/bench_sim.sh."
+  ]
+}
+JSON
+
+echo "bench_sim: wrote $out"
+awk -v r="$r_summary_vs_legacy" 'BEGIN {
+	printf "bench_sim: summary-level campaign throughput = %.2fx the pre-refactor full-level loop (gate: >= 1.5)\n", r
+	exit (r >= 1.5) ? 0 : 1
+}' || { echo "bench_sim: speedup gate FAILED" >&2; exit 1; }

@@ -45,6 +45,17 @@
 // library campaign, an MRF search, and a Table-1 sweep in one process
 // share their simulations.
 //
+// Campaigns that only read run summaries — collision outcomes, minimum
+// bumper gaps — can skip trace materialization entirely by running on
+// an engine with a summary recording level (the dominant allocation of
+// a run; see BENCH_sim.json):
+//
+//	eng := zhuyi.NewEngine(zhuyi.EngineOptions{Record: zhuyi.RecordSummary})
+//	res, err := zhuyi.Campaign(ctx, eng, points) // Result.Trace carries no rows
+//
+// Engines with a persistent store always record archivable points at
+// RecordFull — the store refuses anything less.
+//
 // # Generating scenario corpora
 //
 // The nine Table-1 scenarios are registry entries compiled from
@@ -127,6 +138,21 @@ type (
 	RunResult = sim.Result
 	// MRF is a minimum-required-FPR search result.
 	MRF = metrics.MRF
+	// RecordLevel selects how much of a run the simulator materializes
+	// (see internal/trace.Level): RecordFull keeps every time-step row,
+	// RecordSummary and RecordOff skip row recording for summary-only
+	// campaigns while still computing collision/min-gap/frame summaries.
+	RecordLevel = trace.Level
+)
+
+// Trace recording levels. Configure an engine's level via
+// EngineOptions.Record — e.g. NewEngine(EngineOptions{Record:
+// RecordSummary}) for campaigns that only read summaries; engines with
+// a persistent store always record archivable points at RecordFull.
+const (
+	RecordFull    = trace.LevelFull
+	RecordSummary = trace.LevelSummary
+	RecordOff     = trace.LevelOff
 )
 
 // Aggregation modes for Equation 4.
@@ -229,9 +255,11 @@ type (
 	// Engine is the concurrent run engine: one scheduler and one result
 	// cache shared by every campaign submitted to it.
 	Engine = engine.Engine
-	// EngineOptions sizes the worker pool and the result cache, and
+	// EngineOptions sizes the worker pool and the result cache,
 	// optionally attaches a persistent RunStore (the Store field) so
-	// campaigns warm-start from runs archived by earlier processes.
+	// campaigns warm-start from runs archived by earlier processes, and
+	// sets the engine's trace recording level (the Record field;
+	// RecordFull by default).
 	EngineOptions = engine.Options
 	// CampaignStats summarizes a campaign: points executed, memory and
 	// disk cache hits, failures, skipped points, wall time.
