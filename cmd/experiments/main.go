@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -50,7 +51,15 @@ func main() {
 		record     = flag.String("record", "summary", "corpus sweep: trace recording level of generated members (full, summary, off)")
 		storeDir   = flag.String("store", "", "persistent run store directory: archived points load from disk instead of simulating, fresh runs are archived back")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	// One engine for the whole invocation: campaigns run on a single
 	// worker pool and later experiments reuse earlier experiments' runs

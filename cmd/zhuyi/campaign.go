@@ -13,6 +13,7 @@ import (
 	"math"
 
 	zhuyi "repro"
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -28,7 +29,14 @@ func cmdCampaign(args []string) error {
 	storeDir := fs.String("store", "", "local mode: persistent run store")
 	record := fs.String("record", "summary", "local mode: trace recording level (full, summary, off); store-archived points stay full")
 	quiet := fs.Bool("quiet", false, "suppress per-point lines, print only the stats summary")
+	prof := profiling.Register(fs)
 	fs.Parse(args)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	level, err := trace.ParseLevel(*record)
 	if err != nil {

@@ -24,16 +24,16 @@ type Context struct {
 }
 
 // Trigger decides when a script stage starts.
-type Trigger func(ctx Context, st vehicle.FrenetState) bool
+type Trigger func(ctx *Context, st vehicle.FrenetState) bool
 
 // Immediately fires on the first step.
 func Immediately() Trigger {
-	return func(Context, vehicle.FrenetState) bool { return true }
+	return func(*Context, vehicle.FrenetState) bool { return true }
 }
 
 // AtTime fires once the simulation clock reaches t seconds.
 func AtTime(t float64) Trigger {
-	return func(ctx Context, _ vehicle.FrenetState) bool { return ctx.Time >= t }
+	return func(ctx *Context, _ vehicle.FrenetState) bool { return ctx.Time >= t }
 }
 
 // WhenGapToEgoBelow fires when the actor's station lead over the ego
@@ -41,43 +41,43 @@ func AtTime(t float64) Trigger {
 // or less. This is the natural trigger for cut-out maneuvers: the lead
 // actor swerves when the ego closes in.
 func WhenGapToEgoBelow(gap float64) Trigger {
-	return func(ctx Context, st vehicle.FrenetState) bool { return st.S-ctx.Ego.S <= gap }
+	return func(ctx *Context, st vehicle.FrenetState) bool { return st.S-ctx.Ego.S <= gap }
 }
 
 // WhenGapToEgoAbove fires when the actor's station lead over the ego
 // (st.S − ego.S) reaches gap meters or more; used by cut-in actors that
 // pull ahead before merging.
 func WhenGapToEgoAbove(gap float64) Trigger {
-	return func(ctx Context, st vehicle.FrenetState) bool { return st.S-ctx.Ego.S >= gap }
+	return func(ctx *Context, st vehicle.FrenetState) bool { return st.S-ctx.Ego.S >= gap }
 }
 
 // WhenEgoGapBelow fires when the ego's station lead over the actor
 // (ego.S − st.S) drops to gap meters or less; useful for actors that act
 // as the ego approaches from behind.
 func WhenEgoGapBelow(gap float64) Trigger {
-	return func(ctx Context, st vehicle.FrenetState) bool { return ctx.Ego.S-st.S <= gap }
+	return func(ctx *Context, st vehicle.FrenetState) bool { return ctx.Ego.S-st.S <= gap }
 }
 
 // WhenEgoWithin fires when the absolute station distance between actor
 // and ego is at most dist meters.
 func WhenEgoWithin(dist float64) Trigger {
-	return func(ctx Context, st vehicle.FrenetState) bool {
+	return func(ctx *Context, st vehicle.FrenetState) bool {
 		return math.Abs(st.S-ctx.Ego.S) <= dist
 	}
 }
 
 // AtStation fires when the actor reaches station s.
 func AtStation(s float64) Trigger {
-	return func(_ Context, st vehicle.FrenetState) bool { return st.S >= s }
+	return func(_ *Context, st vehicle.FrenetState) bool { return st.S >= s }
 }
 
 // Action produces control commands for one scripted maneuver.
 type Action interface {
 	// Init is called once, when the stage's trigger fires.
-	Init(ctx Context, st vehicle.FrenetState)
+	Init(ctx *Context, st vehicle.FrenetState)
 	// Apply returns the longitudinal acceleration and lateral velocity to
 	// use for this step, and whether the action has completed.
-	Apply(ctx Context, st vehicle.FrenetState, dt float64) (accel, latVel float64, done bool)
+	Apply(ctx *Context, st vehicle.FrenetState, dt float64) (accel, latVel float64, done bool)
 }
 
 // Stage pairs a trigger with an action.
@@ -100,17 +100,25 @@ type Script struct {
 func NewScript(stages ...Stage) *Script { return &Script{Stages: stages} }
 
 // Step advances the actor state by dt under script control.
-func (sc *Script) Step(ctx Context, st vehicle.FrenetState, dt float64) vehicle.FrenetState {
+func (sc *Script) Step(ctx *Context, st vehicle.FrenetState, dt float64) vehicle.FrenetState {
+	sc.StepInto(ctx, &st, dt)
+	return st
+}
+
+// StepInto is Step mutating st in place — the simulator's per-actor
+// integration form, which skips the state copies through the call
+// boundary.
+func (sc *Script) StepInto(ctx *Context, st *vehicle.FrenetState, dt float64) {
 	accel, latVel := 0.0, 0.0
 	if sc.idx < len(sc.Stages) {
-		stage := sc.Stages[sc.idx]
-		if !sc.active && stage.When(ctx, st) {
+		stage := &sc.Stages[sc.idx]
+		if !sc.active && stage.When(ctx, *st) {
 			sc.active = true
-			stage.Do.Init(ctx, st)
+			stage.Do.Init(ctx, *st)
 		}
 		if sc.active {
 			var done bool
-			accel, latVel, done = stage.Do.Apply(ctx, st, dt)
+			accel, latVel, done = stage.Do.Apply(ctx, *st, dt)
 			if done {
 				sc.idx++
 				sc.active = false
@@ -119,7 +127,7 @@ func (sc *Script) Step(ctx Context, st vehicle.FrenetState, dt float64) vehicle.
 	}
 	st.Accel = accel
 	st.LatVel = latVel
-	return st.Step(dt)
+	st.StepInPlace(dt)
 }
 
 // Finished reports whether all stages have completed.
@@ -135,10 +143,10 @@ type BrakeTo struct {
 }
 
 // Init implements Action.
-func (b *BrakeTo) Init(Context, vehicle.FrenetState) {}
+func (b *BrakeTo) Init(*Context, vehicle.FrenetState) {}
 
 // Apply implements Action.
-func (b *BrakeTo) Apply(_ Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (b *BrakeTo) Apply(_ *Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	if st.Speed <= b.Target+1e-9 {
 		return 0, 0, true
 	}
@@ -152,10 +160,10 @@ type AccelTo struct {
 }
 
 // Init implements Action.
-func (a *AccelTo) Init(Context, vehicle.FrenetState) {}
+func (a *AccelTo) Init(*Context, vehicle.FrenetState) {}
 
 // Apply implements Action.
-func (a *AccelTo) Apply(_ Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (a *AccelTo) Apply(_ *Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	if st.Speed >= a.Target-1e-9 {
 		return 0, 0, true
 	}
@@ -171,10 +179,10 @@ type Hold struct {
 }
 
 // Init implements Action.
-func (h *Hold) Init(ctx Context, _ vehicle.FrenetState) { h.t0 = ctx.Time; h.started = true }
+func (h *Hold) Init(ctx *Context, _ vehicle.FrenetState) { h.t0 = ctx.Time; h.started = true }
 
 // Apply implements Action.
-func (h *Hold) Apply(ctx Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (h *Hold) Apply(ctx *Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	return 0, 0, ctx.Time-h.t0 >= h.Duration
 }
 
@@ -190,14 +198,14 @@ type LaneChange struct {
 }
 
 // Init implements Action.
-func (lc *LaneChange) Init(ctx Context, st vehicle.FrenetState) {
+func (lc *LaneChange) Init(ctx *Context, st vehicle.FrenetState) {
 	lc.t0 = ctx.Time
 	lc.d0 = st.D
 	lc.d1 = ctx.Road.LaneCenterOffset(lc.TargetLane)
 }
 
 // Apply implements Action.
-func (lc *LaneChange) Apply(ctx Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (lc *LaneChange) Apply(ctx *Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	if lc.Duration <= 0 {
 		return 0, 0, true
 	}
@@ -222,10 +230,10 @@ type FollowEgo struct {
 }
 
 // Init implements Action.
-func (f *FollowEgo) Init(Context, vehicle.FrenetState) {}
+func (f *FollowEgo) Init(*Context, vehicle.FrenetState) {}
 
 // Apply implements Action.
-func (f *FollowEgo) Apply(ctx Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (f *FollowEgo) Apply(ctx *Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	const kGap, kVel = 0.4, 1.2
 	gapErr := (ctx.Ego.S - st.S) - f.Gap
 	velErr := ctx.Ego.Speed - st.Speed
@@ -244,10 +252,10 @@ type MatchBeside struct {
 }
 
 // Init implements Action.
-func (m *MatchBeside) Init(Context, vehicle.FrenetState) {}
+func (m *MatchBeside) Init(*Context, vehicle.FrenetState) {}
 
 // Apply implements Action.
-func (m *MatchBeside) Apply(ctx Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (m *MatchBeside) Apply(ctx *Context, st vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	const kGap, kVel = 0.5, 1.4
 	gapErr := (ctx.Ego.S + m.OffsetS) - st.S
 	velErr := ctx.Ego.Speed - st.Speed
@@ -268,10 +276,10 @@ type Drift struct {
 }
 
 // Init implements Action.
-func (d *Drift) Init(ctx Context, _ vehicle.FrenetState) { d.t0 = ctx.Time; d.started = true }
+func (d *Drift) Init(ctx *Context, _ vehicle.FrenetState) { d.t0 = ctx.Time; d.started = true }
 
 // Apply implements Action.
-func (d *Drift) Apply(ctx Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
+func (d *Drift) Apply(ctx *Context, _ vehicle.FrenetState, _ float64) (float64, float64, bool) {
 	if ctx.Time-d.t0 >= d.Duration {
 		return 0, 0, true
 	}
@@ -283,9 +291,9 @@ func (d *Drift) Apply(ctx Context, _ vehicle.FrenetState, _ float64) (float64, f
 type Cruise struct{}
 
 // Init implements Action.
-func (Cruise) Init(Context, vehicle.FrenetState) {}
+func (Cruise) Init(*Context, vehicle.FrenetState) {}
 
 // Apply implements Action.
-func (Cruise) Apply(Context, vehicle.FrenetState, float64) (float64, float64, bool) {
+func (Cruise) Apply(*Context, vehicle.FrenetState, float64) (float64, float64, bool) {
 	return 0, 0, false
 }

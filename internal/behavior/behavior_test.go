@@ -10,8 +10,8 @@ import (
 
 const dt = 0.01
 
-func ctxAt(t float64, r *road.Road, ego vehicle.FrenetState) Context {
-	return Context{Time: t, Road: r, Ego: ego}
+func ctxAt(t float64, r *road.Road, ego vehicle.FrenetState) *Context {
+	return &Context{Time: t, Road: r, Ego: ego}
 }
 
 func runScript(sc *Script, st vehicle.FrenetState, ego vehicle.FrenetState, seconds float64, r *road.Road) vehicle.FrenetState {

@@ -125,12 +125,18 @@ func (e *Estimator) EstimateSnapshot(now float64, ego world.Agent, actors []worl
 	sort.Slice(est.Actors, func(i, j int) bool { return est.Actors[i].ActorID < est.Actors[j].ActorID })
 
 	// Eq. 5: per camera, the binding actor is the one with the smallest
-	// tolerable latency among those in the camera's FOV.
-	visible := e.Rig.VisibleSet(ego.Pose, actors)
+	// tolerable latency among those in the camera's FOV. One scratch
+	// sweep per camera over the pre-filtered cone replaces the old
+	// all-cameras VisibleSet map.
+	var seen []string
 	for _, cam := range e.cameras() {
 		l := e.Params.LMax // empty FOV: idle floor (FPR 1)
 		threat := false
-		for _, id := range visible[cam] {
+		seen = seen[:0]
+		if c, ok := e.Rig.Camera(cam); ok {
+			seen = c.AppendSeenIDs(seen, ego.Pose, actors)
+		}
+		for _, id := range seen {
 			if al, ok := latencies[id]; ok && al < l {
 				l = al
 			}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// rateSweepJobs is a campaign shard shaped like the Table-1 sweep: many
+// rates at one (scenario, seed) point — the lockstep grouping target.
+func rateSweepJobs(t *testing.T) []Job {
+	t.Helper()
+	sc, ok := scenario.ByName(scenario.CutOut)
+	if !ok {
+		t.Fatal("cut-out not registered")
+	}
+	var jobs []Job
+	for _, fpr := range []float64{30, 20, 15, 10, 7, 5, 3, 2, 1} {
+		jobs = append(jobs, Job{Scenario: sc, FPR: fpr, Seed: 4})
+	}
+	return jobs
+}
+
+// TestLockstepCampaignMatchesIndependent runs the same rate sweep on a
+// lockstep-batching engine and a batching-disabled one: identical
+// summaries, and the batching engine must actually have grouped.
+func TestLockstepCampaignMatchesIndependent(t *testing.T) {
+	run := func(lockstep, workers int) (*BatchResult, Stats) {
+		e := New(Options{Workers: workers, Lockstep: lockstep, Record: trace.LevelSummary})
+		defer e.Close()
+		br, err := e.RunBatch(context.Background(), rateSweepJobs(t))
+		if err != nil {
+			t.Fatalf("RunBatch(lockstep=%d): %v", lockstep, err)
+		}
+		return br, e.Stats()
+	}
+	// RunBatch plans the groups at submission, so one worker suffices.
+	grouped, gstats := run(0, 1)
+	independent, istats := run(-1, 4)
+
+	if gstats.LockstepRuns == 0 || gstats.LockstepGroups == 0 {
+		t.Errorf("lockstep stats %+v: sweep never grouped", gstats)
+	}
+	if istats.LockstepRuns != 0 {
+		t.Errorf("disabled engine reported lockstep runs: %+v", istats)
+	}
+	for i := range grouped.Outcomes {
+		g, w := grouped.Outcomes[i], independent.Outcomes[i]
+		if g.Err != nil || w.Err != nil {
+			t.Fatalf("job %d: errs %v / %v", i, g.Err, w.Err)
+		}
+		if !reflect.DeepEqual(g.Result.Collision, w.Result.Collision) ||
+			g.Result.MinBumperGap != w.Result.MinBumperGap ||
+			g.Result.EgoStopped != w.Result.EgoStopped ||
+			!reflect.DeepEqual(g.Result.FramesProcessed, w.Result.FramesProcessed) {
+			t.Errorf("job %d (fpr %g): lockstep result %+v, independent %+v",
+				i, g.Job.FPR, g.Result, w.Result)
+		}
+	}
+}
+
+// TestLockstepSkipsConfiguredJobs keeps Configure-hook jobs out of
+// lockstep groups: the hook can change the run arbitrarily, so such
+// jobs must execute through the runner with the hook applied, even
+// when plain jobs at the same (scenario, seed) are being grouped.
+func TestLockstepSkipsConfiguredJobs(t *testing.T) {
+	e := New(Options{Workers: 1, Lockstep: 8, Record: trace.LevelSummary})
+	defer e.Close()
+	jobs := rateSweepJobs(t)
+	var hooks atomic.Int64
+	for i := range jobs[:3] {
+		jobs[i].Variant = "hooked"
+		jobs[i].Configure = func(cfg *sim.Config) { hooks.Add(1) }
+	}
+	br, err := e.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range br.Outcomes {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	if got := hooks.Load(); got != 3 {
+		t.Errorf("Configure hooks ran %d times, want 3", got)
+	}
+	if st := e.Stats(); st.LockstepRuns == 0 {
+		t.Errorf("plain jobs never grouped: %+v", st)
+	}
+}

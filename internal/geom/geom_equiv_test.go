@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Quad cache and the SinCos zero shortcut are only admissible in
+// the simulator's hot path because they are bit-for-bit equivalent to
+// the OBB methods and math.Sincos they replace — byte-identical traces
+// depend on it. These tests hammer that equivalence on randomized and
+// adversarial inputs.
+
+func TestSinCosMatchesMathSincos(t *testing.T) {
+	angles := []float64{0, math.Copysign(0, -1), 1e-300, -1e-300, 0.5, -0.5, math.Pi, -math.Pi, 3 * math.Pi, 1e9}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		angles = append(angles, (rng.Float64()-0.5)*20)
+	}
+	for _, a := range angles {
+		gs, gc := SinCos(a)
+		ms, mc := math.Sincos(a)
+		if math.Float64bits(gs) != math.Float64bits(ms) || math.Float64bits(gc) != math.Float64bits(mc) {
+			t.Fatalf("SinCos(%v) = (%v,%v), math.Sincos = (%v,%v)", a, gs, gc, ms, mc)
+		}
+	}
+}
+
+func randBox(rng *rand.Rand) OBB {
+	heading := (rng.Float64() - 0.5) * 8
+	if rng.Intn(4) == 0 {
+		heading = 0 // exercise the zero-heading fast path
+	}
+	return OBB{
+		Center:  V((rng.Float64()-0.5)*60, (rng.Float64()-0.5)*60),
+		Heading: heading,
+		Length:  0.5 + rng.Float64()*8,
+		Width:   0.5 + rng.Float64()*3,
+	}
+}
+
+func TestQuadMatchesOBBBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		b := randBox(rng)
+		q := MakeQuad(b)
+
+		// Corners and axes are exactly the OBB's.
+		bc := b.Corners()
+		for k := 0; k < 4; k++ {
+			if q.C[k] != bc[k] {
+				t.Fatalf("corner %d: quad %v obb %v (box %+v)", k, q.C[k], bc[k], b)
+			}
+		}
+		if q.AxF != FromAngle(b.Heading) || q.AxL != FromAngle(b.Heading).Perp() {
+			t.Fatalf("axes differ for %+v", b)
+		}
+
+		// Contains agrees everywhere, including points on and just off the
+		// boundary.
+		for j := 0; j < 20; j++ {
+			p := V(b.Center.X+(rng.Float64()-0.5)*2.2*b.Length, b.Center.Y+(rng.Float64()-0.5)*2.2*b.Length)
+			if q.Contains(p) != b.Contains(p) {
+				t.Fatalf("Contains(%v) disagrees for %+v", p, b)
+			}
+		}
+		for k := 0; k < 4; k++ {
+			if q.Contains(bc[k]) != b.Contains(bc[k]) {
+				t.Fatalf("corner Contains disagrees for %+v", b)
+			}
+		}
+
+		// Intersects agrees, with overlapping, touching, and distant pairs.
+		o := randBox(rng)
+		if rng.Intn(2) == 0 {
+			o.Center = b.Center.Add(V((rng.Float64()-0.5)*2*b.Length, (rng.Float64()-0.5)*2*b.Length))
+		}
+		oq := MakeQuad(o)
+		if q.Intersects(&oq) != b.Intersects(o) {
+			t.Fatalf("Intersects disagrees: %+v vs %+v", b, o)
+		}
+
+		// HitBy agrees with the exact segment-versus-OBB test.
+		s := Segment{
+			A: V((rng.Float64()-0.5)*80, (rng.Float64()-0.5)*80),
+			B: b.Center.Add(V((rng.Float64()-0.5)*3*b.Length, (rng.Float64()-0.5)*3*b.Length)),
+		}
+		if q.HitBy(s) != segHitsOBBRef(s, b) {
+			t.Fatalf("HitBy disagrees for %+v seg %+v", b, s)
+		}
+	}
+}
+
+// segHitsOBBRef is the reference segment-vs-OBB predicate (the shape
+// internal/sensor historically used), spelled with the uncached
+// primitives.
+func segHitsOBBRef(s Segment, b OBB) bool {
+	if b.Contains(s.A) || b.Contains(s.B) {
+		return true
+	}
+	c := b.Corners()
+	for i := 0; i < 4; i++ {
+		edge := Segment{A: c[i], B: c[(i+1)%4]}
+		if s.Intersects(edge) {
+			return true
+		}
+	}
+	return false
+}

@@ -58,7 +58,7 @@ func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
 
 // Rotate returns v rotated by rad radians counter-clockwise.
 func (v Vec2) Rotate(rad float64) Vec2 {
-	s, c := math.Sincos(rad)
+	s, c := SinCos(rad)
 	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
 }
 
@@ -72,8 +72,20 @@ func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
 
 // FromAngle returns the unit vector with the given heading.
 func FromAngle(rad float64) Vec2 {
-	s, c := math.Sincos(rad)
+	s, c := SinCos(rad)
 	return Vec2{c, s}
+}
+
+// SinCos is math.Sincos with a fast path for the exact zero angle,
+// the overwhelmingly common heading on straight-road scenarios. The
+// shortcut is bit-exact: sin(±0) = ±0 (returning rad preserves the
+// sign of zero) and cos(±0) = 1, so callers cannot observe which
+// branch ran.
+func SinCos(rad float64) (sin, cos float64) {
+	if rad == 0 {
+		return rad, 1
+	}
+	return math.Sincos(rad)
 }
 
 // Pose is a position plus heading in the world frame.

@@ -19,9 +19,6 @@ package perception
 import (
 	"math"
 	"math/rand"
-	"slices"
-	"sort"
-	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/sensor"
@@ -109,6 +106,10 @@ type Track struct {
 
 	fx, fy axisFilter
 
+	// detected marks the track as measured in the frame being
+	// processed (the per-frame scratch that used to live in a map).
+	detected bool
+
 	// Coasted-state memo: within one simulation step the same track is
 	// queried at the same instant by several cameras' miss checks and
 	// the world model; State is pure, so the pipeline caches it
@@ -120,6 +121,15 @@ type Track struct {
 
 // State coasts the track estimate to time t and returns it as an agent.
 func (tk *Track) State(t float64) world.Agent {
+	var a world.Agent
+	tk.fillState(t, &a)
+	return a
+}
+
+// fillState is State writing into dst in place — the per-step sweeps
+// fill the track's own cache slot instead of copying the 112-byte
+// agent through a return value.
+func (tk *Track) fillState(t float64, dst *world.Agent) {
 	dt := t - tk.LastUpdate
 	x := tk.fx
 	y := tk.fy
@@ -127,39 +137,51 @@ func (tk *Track) State(t float64) world.Agent {
 	y.predict(dt)
 	vel := geom.V(x.V, y.V)
 	speed := vel.Len()
-	heading := vel.Angle()
-	if speed < 0.3 {
-		heading = 0 // slow/static targets: keep a stable heading
+	// Slow/static targets pin heading and acceleration to 0 (a stable
+	// heading for near-stationary estimates), so their Atan2 and
+	// acceleration projection are never computed at all — stationary
+	// obstacles and stopped leads coast through this branch every step.
+	heading, accel := 0.0, 0.0
+	if speed >= 0.3 {
+		heading = vel.Angle()
+		// Longitudinal acceleration: projection of the estimated
+		// acceleration onto the velocity direction. Scaling by the
+		// already-computed length is exactly vel.Unit() — Unit
+		// recomputes the identical Len — minus the second hypot.
+		accel = geom.V(x.A, y.A).Dot(vel.Scale(1 / speed))
 	}
-	// Longitudinal acceleration: projection of the estimated acceleration
-	// onto the velocity direction (or its magnitude for slow targets).
-	accel := geom.V(x.A, y.A).Dot(vel.Unit())
-	if speed < 0.3 {
-		accel = 0
-	}
-	return world.Agent{
-		ID:     tk.ID,
-		Pose:   geom.Pose{Pos: geom.V(x.X, y.X), Heading: heading},
-		Speed:  speed,
-		Accel:  accel,
-		Length: tk.Length,
-		Width:  tk.Width,
-		Static: speed < 0.3,
-	}
+	// Field writes instead of a composite literal: the literal builds a
+	// 112-byte temporary and block-copies it into dst every call.
+	dst.ID = tk.ID
+	dst.Pose.Pos.X = x.X
+	dst.Pose.Pos.Y = y.X
+	dst.Pose.Heading = heading
+	dst.Speed = speed
+	dst.Accel = accel
+	dst.LatVel = 0
+	dst.Length = tk.Length
+	dst.Width = tk.Width
+	dst.Lane = 0
+	dst.Static = speed < 0.3
 }
 
 // Pipeline is the camera perception stack: it consumes processed frames
 // and maintains the set of tracks that form the perceived world model.
+//
+// Tracks live in a slice kept sorted by ID (scenes hold a handful of
+// actors, so ordered linear scans beat map hashing and give the world
+// model its deterministic order for free — the per-step hot path walks
+// the slice without the per-frame map iteration and re-sort the map
+// representation needed).
 type Pipeline struct {
 	cfg Config
 	rng *rand.Rand
 
-	tracks map[string]*Track
+	tracks []*Track // ascending ID order
 
 	// Per-frame scratch, reused across ProcessFrame calls so the
 	// simulator's hot loop does not allocate per frame.
 	visScratch []world.Agent
-	detScratch map[string]bool
 
 	// Stats.
 	FramesProcessed int
@@ -170,11 +192,29 @@ type Pipeline struct {
 // NewPipeline builds a pipeline with the given config and noise seed.
 func NewPipeline(cfg Config, seed int64) *Pipeline {
 	return &Pipeline{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(seed)),
-		tracks:     make(map[string]*Track),
-		detScratch: make(map[string]bool),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
 	}
+}
+
+// findTrack returns the track with the given ID, or nil plus the
+// insertion index that keeps the slice sorted.
+func (p *Pipeline) findTrack(id string) (*Track, int) {
+	for i, tk := range p.tracks {
+		if tk.ID == id {
+			return tk, i
+		}
+		if tk.ID > id {
+			return nil, i
+		}
+	}
+	return nil, len(p.tracks)
+}
+
+func (p *Pipeline) insertTrack(at int, tk *Track) {
+	p.tracks = append(p.tracks, nil)
+	copy(p.tracks[at+1:], p.tracks[at:])
+	p.tracks[at] = tk
 }
 
 // ProcessFrame ingests one processed camera frame at time t. cam is the
@@ -184,60 +224,123 @@ func NewPipeline(cfg Config, seed int64) *Pipeline {
 func (p *Pipeline) ProcessFrame(cam sensor.Camera, t float64, ego world.Agent, actors []world.Agent) {
 	p.FramesProcessed++
 	p.visScratch = sensor.AppendVisible(p.visScratch[:0], cam, ego.Pose, actors)
-	visible := p.visScratch
-	clear(p.detScratch)
-	detected := p.detScratch
+	for _, tk := range p.tracks {
+		tk.detected = false
+	}
 
-	for _, a := range visible {
+	for _, a := range p.visScratch {
 		if p.rng.Float64() > p.cfg.DetectProb {
 			continue // missed detection
 		}
-		detected[a.ID] = true
 		p.Detections++
-		p.updateTrack(a, t)
+		vel := a.Velocity()
+		p.ingest(a.ID, a.Pose.Pos.X, a.Pose.Pos.Y, vel.X, vel.Y, a.Length, a.Width, t)
 	}
 
 	// Tracks whose estimate lies in this camera's FOV but were not
 	// detected this frame accumulate misses.
 	cone := sensor.NewFrameCone(cam, ego.Pose)
-	for id, tk := range p.tracks {
-		if detected[id] {
+	kept := p.tracks[:0]
+	for _, tk := range p.tracks {
+		if tk.detected {
+			kept = append(kept, tk)
 			continue
 		}
-		est := p.stateAt(tk, t)
-		if cone.CannotSee(est) || !cam.SeesAgent(ego.Pose, est) {
-			continue // not this camera's responsibility
+		est := p.ensureState(tk, t)
+		if cone.CannotSee(*est) || !cam.SeesAgent(ego.Pose, *est) {
+			kept = append(kept, tk) // not this camera's responsibility
+			continue
 		}
-		tk.Misses++
-		if !tk.Confirmed {
-			tk.Hits = 0 // confirmation requires consecutive detections
+		if p.recordMiss(tk) {
+			kept = append(kept, tk)
 		}
-		if tk.Misses > p.cfg.MaxMisses {
-			delete(p.tracks, id)
+	}
+	p.clearTail(len(kept))
+	p.tracks = kept
+}
+
+// ProcessFrameIdx is ProcessFrame over the structure-of-arrays world
+// frame: visIdx holds the frame indices of the visible actors (from
+// sensor.RigCones.AppendVisibleIdx), and the measurement and miss
+// sweeps read the flat arrays and the precomputed cone table. The RNG
+// draw order and every filter update are identical to ProcessFrame on
+// the materialized agents.
+func (p *Pipeline) ProcessFrameIdx(rc *sensor.RigCones, ci int, t float64, f *world.Frame, visIdx []int) {
+	p.FramesProcessed++
+	for _, tk := range p.tracks {
+		tk.detected = false
+	}
+
+	for _, i := range visIdx {
+		if p.rng.Float64() > p.cfg.DetectProb {
+			continue // missed detection
 		}
+		p.Detections++
+		vel := f.Velocity(i)
+		p.ingest(f.IDs[i], f.X[i], f.Y[i], vel.X, vel.Y, f.Length[i], f.Width[i], t)
+	}
+
+	kept := p.tracks[:0]
+	for _, tk := range p.tracks {
+		if tk.detected {
+			kept = append(kept, tk)
+			continue
+		}
+		est := p.ensureState(tk, t)
+		if !rc.SeesAgentAt(ci, est) {
+			kept = append(kept, tk) // not this camera's responsibility
+			continue
+		}
+		if p.recordMiss(tk) {
+			kept = append(kept, tk)
+		}
+	}
+	p.clearTail(len(kept))
+	p.tracks = kept
+}
+
+// recordMiss applies one missed processed frame to the track and
+// reports whether the track survives.
+func (p *Pipeline) recordMiss(tk *Track) bool {
+	tk.Misses++
+	if !tk.Confirmed {
+		tk.Hits = 0 // confirmation requires consecutive detections
+	}
+	return tk.Misses <= p.cfg.MaxMisses
+}
+
+// clearTail nils the dropped tail of the track slice so deleted tracks
+// do not leak through the retained backing array.
+func (p *Pipeline) clearTail(from int) {
+	for i := from; i < len(p.tracks); i++ {
+		p.tracks[i] = nil
 	}
 }
 
-func (p *Pipeline) updateTrack(a world.Agent, t float64) {
-	zx := a.Pose.Pos.X + p.rng.NormFloat64()*p.cfg.PosNoise
-	zy := a.Pose.Pos.Y + p.rng.NormFloat64()*p.cfg.PosNoise
-	vel := a.Velocity()
-	zvx := vel.X + p.rng.NormFloat64()*p.cfg.VelNoise
-	zvy := vel.Y + p.rng.NormFloat64()*p.cfg.VelNoise
+// ingest fuses one noisy measurement of actor id at (px,py) moving at
+// (vx,vy) into its track, creating the track on first sight. The four
+// NormFloat64 draws happen in the exact order the original
+// agent-of-structs path made them.
+func (p *Pipeline) ingest(id string, px, py, vx, vy, length, width, t float64) {
+	zx := px + p.rng.NormFloat64()*p.cfg.PosNoise
+	zy := py + p.rng.NormFloat64()*p.cfg.PosNoise
+	zvx := vx + p.rng.NormFloat64()*p.cfg.VelNoise
+	zvy := vy + p.rng.NormFloat64()*p.cfg.VelNoise
 
-	tk, ok := p.tracks[a.ID]
-	if !ok {
+	tk, at := p.findTrack(id)
+	if tk == nil {
 		tk = &Track{
-			ID:        a.ID,
+			ID:        id,
 			FirstSeen: t,
-			Length:    a.Length,
-			Width:     a.Width,
+			Length:    length,
+			Width:     width,
 			fx:        axisFilter{X: zx, V: zvx},
 			fy:        axisFilter{X: zy, V: zvy},
 		}
 		tk.Hits = 1
 		tk.LastUpdate = t
-		p.tracks[a.ID] = tk
+		tk.detected = true
+		p.insertTrack(at, tk)
 		p.maybeConfirm(tk, t)
 		return
 	}
@@ -249,6 +352,7 @@ func (p *Pipeline) updateTrack(a world.Agent, t float64) {
 	tk.fy.update(zy, zvy, dt, p.cfg)
 	tk.LastUpdate = t
 	tk.Misses = 0
+	tk.detected = true
 	tk.cacheValid = false
 	if !tk.Confirmed {
 		tk.Hits++
@@ -261,12 +365,19 @@ func (p *Pipeline) updateTrack(a world.Agent, t float64) {
 // invalidates the memo), so the cached agent is exactly what State
 // would recompute.
 func (p *Pipeline) stateAt(tk *Track, t float64) world.Agent {
-	if tk.cacheValid && tk.cacheT == t {
-		return tk.cacheState
+	return *p.ensureState(tk, t)
+}
+
+// ensureState is stateAt returning the cache slot itself: callers that
+// only read the estimate within the step (the miss sweeps, the world
+// model scatter) skip the extra copy. The pointer is only valid until
+// the track's next measurement update.
+func (p *Pipeline) ensureState(tk *Track, t float64) *world.Agent {
+	if !tk.cacheValid || tk.cacheT != t {
+		tk.fillState(t, &tk.cacheState)
+		tk.cacheT, tk.cacheValid = t, true
 	}
-	tk.cacheState = tk.State(t)
-	tk.cacheT, tk.cacheValid = t, true
-	return tk.cacheState
+	return &tk.cacheState
 }
 
 func (p *Pipeline) maybeConfirm(tk *Track, t float64) {
@@ -286,40 +397,55 @@ func (p *Pipeline) WorldModel(t float64) []world.Agent {
 
 // WorldModelAppend is WorldModel appending into dst (reusing its
 // backing array), so per-step callers — the simulator's perception
-// stage — amortize the allocation to zero. Track IDs are unique, so
-// the unstable sort is still deterministic.
+// stage — amortize the allocation to zero. The track slice is kept
+// sorted by ID, so the walk emits the deterministic order directly.
 func (p *Pipeline) WorldModelAppend(dst []world.Agent, t float64) []world.Agent {
 	for _, tk := range p.tracks {
 		if !tk.Confirmed {
 			continue
 		}
-		dst = append(dst, p.stateAt(tk, t))
+		// Fill the new slot directly instead of copying through the
+		// track's coast cache: fillState writes every Agent field, and
+		// on the common (non-frame-instant) step nothing else needs the
+		// state at this t, so priming the cache would only add a
+		// 112-byte copy. A cache already valid for t (primed by this
+		// step's frame processing) is reused as before.
+		n := len(dst)
+		if n < cap(dst) {
+			dst = dst[:n+1]
+		} else {
+			dst = append(dst, world.Agent{})
+		}
+		if tk.cacheValid && tk.cacheT == t {
+			dst[n] = tk.cacheState
+		} else {
+			tk.fillState(t, &dst[n])
+		}
 	}
-	slices.SortFunc(dst, func(a, b world.Agent) int { return strings.Compare(a.ID, b.ID) })
 	return dst
 }
 
 // Tracks returns all current tracks (confirmed or not), sorted by ID.
 func (p *Pipeline) Tracks() []*Track {
-	var out []*Track
-	for _, tk := range p.tracks {
-		out = append(out, tk)
+	if len(p.tracks) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Track, len(p.tracks))
+	copy(out, p.tracks)
 	return out
 }
 
 // Track returns the track for the given actor ID, if present.
 func (p *Pipeline) Track(id string) (*Track, bool) {
-	tk, ok := p.tracks[id]
-	return tk, ok
+	tk, _ := p.findTrack(id)
+	return tk, tk != nil
 }
 
 // ConfirmationDelay returns how long the given actor took from first
 // sighting to confirmation, or NaN if it is not confirmed.
 func (p *Pipeline) ConfirmationDelay(id string) float64 {
-	tk, ok := p.tracks[id]
-	if !ok || !tk.Confirmed {
+	tk, _ := p.findTrack(id)
+	if tk == nil || !tk.Confirmed {
 		return math.NaN()
 	}
 	return tk.ConfirmedAt - tk.FirstSeen

@@ -58,25 +58,34 @@ type Planner struct {
 	Road *road.Road
 
 	aebActive bool
+
+	// twoSqrtAB caches 2·sqrt(a·b), the IDM interaction denominator —
+	// a pure function of the config that idm would otherwise recompute
+	// every step. Zero means "not yet derived" (direct struct literals
+	// skip New), and idm falls back to computing it on the spot.
+	twoSqrtAB float64
 }
 
 // New builds a planner.
-func New(cfg Config, r *road.Road) *Planner { return &Planner{Cfg: cfg, Road: r} }
+func New(cfg Config, r *road.Road) *Planner {
+	return &Planner{Cfg: cfg, Road: r, twoSqrtAB: 2 * math.Sqrt(cfg.MaxAccel*cfg.ComfortBrake)}
+}
 
 // Plan computes the longitudinal command for the ego given its own
 // lane-relative state and the perceived world model.
 func (p *Planner) Plan(ego vehicle.FrenetState, egoParams vehicle.Params, wm []world.Agent) Decision {
-	lead, gap, ok := p.selectLead(ego, egoParams, wm)
+	leadIdx, leadS, gap := p.selectLead(ego, egoParams, wm)
 
 	var d Decision
-	if !ok {
+	if leadIdx < 0 {
 		p.aebActive = false
 		d.Accel = p.idm(ego.Speed, 0, math.Inf(1))
 		d.Gap = math.Inf(1)
 		return d
 	}
 
-	leadSpeed := p.leadSpeed(lead)
+	lead := &wm[leadIdx]
+	leadSpeed := p.leadSpeed(lead, leadS)
 	d.LeadID = lead.ID
 	d.Gap = gap
 
@@ -103,12 +112,16 @@ func (p *Planner) Plan(ego vehicle.FrenetState, egoParams vehicle.Params, wm []w
 }
 
 // selectLead picks the nearest perceived agent ahead of the ego inside
-// its corridor, returning the agent and the bumper gap.
-func (p *Planner) selectLead(ego vehicle.FrenetState, egoParams vehicle.Params, wm []world.Agent) (world.Agent, float64, bool) {
+// its corridor, returning its index in wm (-1 if none), its projected
+// station, and the bumper gap. Tracking the winner by index (and
+// carrying its station to leadSpeed) keeps per-candidate Agent copies
+// and a duplicate road projection off the per-step path.
+func (p *Planner) selectLead(ego vehicle.FrenetState, egoParams vehicle.Params, wm []world.Agent) (int, float64, float64) {
 	bestGap := math.Inf(1)
-	var best world.Agent
-	found := false
-	for _, a := range wm {
+	bestIdx := -1
+	bestS := 0.0
+	for i := range wm {
+		a := &wm[i]
 		s, d := p.Road.Frenet(a.Pose.Pos)
 		if math.Abs(d-ego.D) > p.Cfg.CorridorHalfWidth {
 			continue
@@ -119,19 +132,19 @@ func (p *Planner) selectLead(ego vehicle.FrenetState, egoParams vehicle.Params, 
 		}
 		if gap < bestGap {
 			bestGap = gap
-			best = a
-			found = true
+			bestIdx = i
+			bestS = s
 		}
 	}
-	return best, bestGap, found
+	return bestIdx, bestS, bestGap
 }
 
 // leadSpeed projects the lead's velocity onto the road direction at its
 // position, so a cut-in actor's lateral motion does not inflate the
-// closing-speed estimate.
-func (p *Planner) leadSpeed(a world.Agent) float64 {
-	s, _ := p.Road.Frenet(a.Pose.Pos)
-	tangent := p.Road.Ref.PoseAt(s).Forward()
+// closing-speed estimate. s is the lead's station, already computed by
+// selectLead from the identical position.
+func (p *Planner) leadSpeed(a *world.Agent, s float64) float64 {
+	tangent := p.Road.TangentAt(s)
 	v := a.Velocity().Dot(tangent)
 	if v < 0 {
 		v = 0
@@ -141,18 +154,28 @@ func (p *Planner) leadSpeed(a world.Agent) float64 {
 
 // idm is the Intelligent Driver Model acceleration.
 func (p *Planner) idm(v, vLead, gap float64) float64 {
-	c := p.Cfg
-	free := 1 - math.Pow(v/math.Max(c.DesiredSpeed, 0.1), 4)
+	c := &p.Cfg
+	// math.Pow with an exact integer exponent reduces to binary
+	// exponentiation — x⁴ is computed as (x²)², bit for bit — so the
+	// two explicit multiplies below are the identical result without
+	// the Pow call's unpacking overhead.
+	r := v / max(c.DesiredSpeed, 0.1)
+	r2 := r * r
+	free := 1 - r2*r2
 	if math.IsInf(gap, 1) {
 		return c.MaxAccel * free
 	}
 	if gap <= 0.1 {
 		return -c.MaxBrake
 	}
+	denom := p.twoSqrtAB
+	if denom == 0 {
+		denom = 2 * math.Sqrt(c.MaxAccel*c.ComfortBrake)
+	}
 	dv := v - vLead
-	sStar := c.MinGap + math.Max(0, v*c.TimeHeadway+v*dv/(2*math.Sqrt(c.MaxAccel*c.ComfortBrake)))
+	sStar := c.MinGap + max(0, v*c.TimeHeadway+v*dv/denom)
 	a := c.MaxAccel * (free - (sStar/gap)*(sStar/gap))
-	return math.Max(-c.MaxBrake, a)
+	return max(-c.MaxBrake, a)
 }
 
 // requiredDecel returns the constant deceleration needed to slow from v

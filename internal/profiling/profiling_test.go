@@ -1,0 +1,66 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	prof := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := prof.Start()
+	if err != nil {
+		t.Fatalf("Start with no flags: %v", err)
+	}
+	stop() // must not panic or write anything
+}
+
+func TestCapturesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	prof := Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := prof.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	stop()
+
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	prof := Register(fs)
+	bad := filepath.Join(t.TempDir(), "missing", "cpu.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.Start(); err == nil {
+		t.Fatal("Start with uncreatable path: want error")
+	}
+}

@@ -13,6 +13,7 @@ package road
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -172,6 +173,14 @@ type Road struct {
 	Ref       Centerline
 	LaneWidth float64
 	NumLanes  int
+
+	// Lazily-compiled fast evaluation tables for the Ref shapes this
+	// package defines (see fast.go). Built on first query; produces
+	// bit-identical results, so it is invisible to callers. Roads must
+	// be shared by pointer once queried (vet's copylocks check enforces
+	// this via the Once).
+	fastOnce sync.Once
+	fast     fastRef
 }
 
 // DefaultLaneWidth is a typical US highway lane width in meters.
@@ -213,20 +222,41 @@ func (r *Road) PoseAt(lane int, s float64) geom.Pose {
 // PoseAtOffset returns the world pose at station s and lateral offset d
 // (left positive). The heading follows the reference tangent.
 func (r *Road) PoseAtOffset(s, d float64) geom.Pose {
+	if f := r.fastOf(); f.ok {
+		return f.poseAtOffset(s, d)
+	}
 	ref := r.Ref.PoseAt(s)
 	return geom.Pose{Pos: ref.Pos.Add(ref.Left().Scale(d)), Heading: ref.Heading}
 }
 
 // Frenet returns the station and offset of a world point.
-func (r *Road) Frenet(p geom.Vec2) (s, d float64) { return r.Ref.Project(p) }
+func (r *Road) Frenet(p geom.Vec2) (s, d float64) {
+	if f := r.fastOf(); f.ok {
+		return f.project(p)
+	}
+	return r.Ref.Project(p)
+}
+
+// TangentAt returns the reference forward direction at station s —
+// Ref.PoseAt(s).Forward() without materializing the pose.
+func (r *Road) TangentAt(s float64) geom.Vec2 {
+	if f := r.fastOf(); f.ok {
+		return f.forwardAt(s)
+	}
+	return r.Ref.PoseAt(s).Forward()
+}
 
 // LaneAt returns the lane index containing offset d, clamped to the
-// road's lanes.
+// road's lanes. Int conversion truncates toward zero, which agrees
+// with Floor for non-negative values; negative ones floor to -1 or
+// below and truncate to 0 or below — both clamp to lane 0, so the
+// Floor call is skipped without changing any result.
 func (r *Road) LaneAt(d float64) int {
-	lane := int(math.Floor(d/r.LaneWidth + 0.5))
-	if lane < 0 {
-		lane = 0
+	q := d/r.LaneWidth + 0.5
+	if q <= 0 {
+		return 0
 	}
+	lane := int(q)
 	if lane >= r.NumLanes {
 		lane = r.NumLanes - 1
 	}

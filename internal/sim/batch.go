@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"reflect"
+)
+
+// Batch advances several simulation variants in lockstep, sharing the
+// per-instant work that depends only on the kinematic state and the
+// static scenario geometry: ground-truth materialization, the
+// collision and min-gap sweeps, camera cone updates, occlusion rays,
+// and per-camera visibility lists.
+//
+// Rate-sweep campaigns are the motivating shape: the variants of one
+// (scenario, seed) point differ only in their frame processing rate
+// (or rate controller), so their worlds evolve identically until the
+// perception difference reaches the planner and the ego commands
+// diverge. Until that instant every variant is the same closed loop;
+// after it, they are genuinely different runs. The batch exploits the
+// shared prefix and respects the divergence:
+//
+//   - Variants whose configurations are compatible (same road, rig,
+//     actors, ego setup, dt, duration — see shareable) form lockstep
+//     groups. The first member of a group leads; the rest follow,
+//     reading the leader's stepShare instead of their own.
+//   - Before every round, each follower's dynamic state (ego Frenet
+//     state, applied command, every actor's Frenet state, collision
+//     status) is compared against its leader. Bitwise equality is the
+//     soundness condition: the shared quantities are pure functions of
+//     exactly that state, so equal state means the shared values are
+//     the follower's own. Any mismatch permanently forks the follower
+//     onto its private share — it re-derives everything itself from
+//     then on, which is precisely the solo step path.
+//
+// Results are therefore bit-identical to running each variant alone;
+// batch_equiv_test.go asserts it trace-byte for trace-byte.
+type Batch struct {
+	sims   []*Simulation
+	groups [][]int // indices into sims; group[0] leads
+	forks  int
+}
+
+// NewBatch builds the variants and wires compatible ones into lockstep
+// groups. Incompatible configurations are not an error — each simply
+// forms (or joins) a different group; a batch of pairwise-incompatible
+// configs degenerates to independent solo runs.
+//
+// Each config must be freshly built for this batch: behavior.Script
+// values carry run state, so two variants sharing a Script pointer
+// (or a config reused from an earlier run) would corrupt each other —
+// the same single-use rule Run has always had.
+func NewBatch(cfgs []Config) (*Batch, error) {
+	b := &Batch{sims: make([]*Simulation, len(cfgs))}
+	for i, cfg := range cfgs {
+		s, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.sims[i] = s
+	}
+	for i, s := range b.sims {
+		placed := false
+		for gi, g := range b.groups {
+			lead := b.sims[g[0]]
+			if shareable(lead, s) {
+				s.sh = lead.own
+				b.groups[gi] = append(b.groups[gi], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			b.groups = append(b.groups, []int{i})
+		}
+	}
+	return b, nil
+}
+
+// shareable reports whether two simulations may share a stepShare:
+// everything the shared quantities are computed from — the world
+// geometry, the rig, the actor roster, the ego's physical setup, the
+// time grid — must be identical, and collisions must end (or not end)
+// both runs alike so group done-ness stays aligned. Seeds, frame
+// processing rates, rate controllers, perception and planner
+// configurations, and recording levels are free to differ: they are
+// exactly the variant axes, and the per-round state verification
+// catches the moment any of them makes the worlds diverge.
+func shareable(a, s *Simulation) bool {
+	ac, sc := &a.cfg, &s.cfg
+	if ac.Dt != sc.Dt || ac.Duration != sc.Duration ||
+		ac.StopOnCollision != sc.StopOnCollision ||
+		ac.EgoParams != sc.EgoParams || ac.EgoInit != sc.EgoInit ||
+		len(ac.Actors) != len(sc.Actors) {
+		return false
+	}
+	for i := range ac.Actors {
+		aa, sa := &ac.Actors[i], &sc.Actors[i]
+		if aa.ID != sa.ID || aa.Params != sa.Params || aa.Init != sa.Init {
+			return false
+		}
+	}
+	// Compare roads by their public geometry only: the Road struct also
+	// carries lazily-built fast-path tables, so a queried road must not
+	// compare different from a fresh one with the same shape.
+	if ac.Road != sc.Road {
+		if ac.Road == nil || sc.Road == nil ||
+			ac.Road.LaneWidth != sc.Road.LaneWidth ||
+			ac.Road.NumLanes != sc.Road.NumLanes ||
+			!reflect.DeepEqual(ac.Road.Ref, sc.Road.Ref) {
+			return false
+		}
+	}
+	if !reflect.DeepEqual(ac.Rig, sc.Rig) {
+		return false
+	}
+	return true
+}
+
+// lockstep reports whether follower f is still bitwise in step with
+// its leader: finished runs pair only with finished runs, and live
+// ones must agree on the step index, the ego state and command, every
+// actor's state, and whether a collision has occurred (the sweep is
+// skipped once one has).
+func lockstep(lead, f *Simulation) bool {
+	if lead.done || f.done {
+		return lead.done == f.done
+	}
+	if lead.step != f.step ||
+		lead.egoState != f.egoState ||
+		lead.appliedAccel != f.appliedAccel ||
+		(lead.res.Collision == nil) != (f.res.Collision == nil) {
+		return false
+	}
+	for i := range lead.actors {
+		if lead.actors[i].state != f.actors[i].state {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances every variant one round: followers are re-verified
+// against their leaders (forking any that diverged), then each group
+// steps leader-first so the shared work is computed once and read by
+// the rest. It reports whether any variant has steps remaining.
+func (b *Batch) Step() bool {
+	running := false
+	var forked []int
+	for gi := range b.groups {
+		g := b.groups[gi]
+		if len(g) > 1 {
+			lead := b.sims[g[0]]
+			keep := g[:1]
+			for _, fi := range g[1:] {
+				f := b.sims[fi]
+				if lockstep(lead, f) {
+					keep = append(keep, fi)
+				} else {
+					f.sh = f.own
+					forked = append(forked, fi)
+				}
+			}
+			b.groups[gi] = keep
+		}
+		for _, si := range b.groups[gi] {
+			if b.sims[si].Step() {
+				running = true
+			}
+		}
+	}
+	// Forked variants still advance this round, then continue as their
+	// own singleton groups.
+	for _, fi := range forked {
+		if b.sims[fi].Step() {
+			running = true
+		}
+		b.groups = append(b.groups, []int{fi})
+	}
+	b.forks += len(forked)
+	return running
+}
+
+// Run advances the batch to completion and returns every variant's
+// result, index-aligned with the configurations given to NewBatch.
+func (b *Batch) Run() []*Result {
+	for b.Step() {
+	}
+	results := make([]*Result, len(b.sims))
+	for i, s := range b.sims {
+		results[i] = s.Result()
+	}
+	return results
+}
+
+// Len returns the number of variants in the batch.
+func (b *Batch) Len() int { return len(b.sims) }
+
+// Sim returns variant i, for callers that interleave their own reads
+// with Step (the same live-state seam a solo Simulation offers).
+func (b *Batch) Sim(i int) *Simulation { return b.sims[i] }
+
+// Forks returns how many variants have diverged from their leaders and
+// now run independently.
+func (b *Batch) Forks() int { return b.forks }
+
+// Groups returns the current lockstep group sizes (largest first is
+// not guaranteed; order follows formation and forking).
+func (b *Batch) Groups() []int {
+	sizes := make([]int, len(b.groups))
+	for i, g := range b.groups {
+		sizes[i] = len(g)
+	}
+	return sizes
+}
+
+// RunBatch builds a batch over the configurations and runs it to
+// completion: the lockstep-sharing counterpart of calling Run per
+// config.
+func RunBatch(cfgs []Config) ([]*Result, error) {
+	b, err := NewBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(), nil
+}

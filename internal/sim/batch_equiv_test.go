@@ -1,0 +1,187 @@
+package sim_test
+
+// Lockstep-batch equivalence suite: a sim.Batch over (seed, rate)
+// variants must be indistinguishable — trace byte for trace byte —
+// from running every variant alone. The batch shares ground truth,
+// collision sweeps, and visibility between state-identical variants
+// and forks them on divergence, so these tests sweep the places where
+// that machinery could leak: rate splits (late divergence), seed
+// splits (never shareable), early collisions under StopOnCollision
+// (done before the cameras ever fire), and dynamic rate controllers.
+//
+// Configs are built fresh for the solo pass and again for the batch:
+// behavior.Script values carry run state, so a Config is good for one
+// run (which is also why every production layer builds per job).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vehicle"
+)
+
+// assertBatchMatchesSolo materializes the config list twice — solo
+// runs against batch — and requires identical traces and summaries.
+func assertBatchMatchesSolo(t *testing.T, build func() []sim.Config) *sim.Batch {
+	t.Helper()
+	soloCfgs := build()
+	solo := make([]*sim.Result, len(soloCfgs))
+	for i, cfg := range soloCfgs {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		solo[i] = res
+	}
+	b, err := sim.NewBatch(build())
+	if err != nil {
+		t.Fatalf("NewBatch: %v", err)
+	}
+	batched := b.Run()
+	for i := range solo {
+		want, got := solo[i], batched[i]
+		if (want.Trace == nil) != (got.Trace == nil) {
+			t.Fatalf("variant %d: trace presence %v, want %v", i, got.Trace != nil, want.Trace != nil)
+		}
+		if want.Trace != nil {
+			wb, gb := traceBytes(t, want.Trace), traceBytes(t, got.Trace)
+			if !bytes.Equal(wb, gb) {
+				t.Errorf("variant %d: trace serialization differs (%d vs %d bytes)", i, len(gb), len(wb))
+				for r := range want.Trace.Rows {
+					if r < len(got.Trace.Rows) && !reflect.DeepEqual(want.Trace.Rows[r], got.Trace.Rows[r]) {
+						t.Errorf("first divergent row %d (t=%.2f)", r, want.Trace.Rows[r].Time)
+						break
+					}
+				}
+			}
+		}
+		if !reflect.DeepEqual(want.Collision, got.Collision) {
+			t.Errorf("variant %d: collision %+v, want %+v", i, got.Collision, want.Collision)
+		}
+		if !reflect.DeepEqual(want.FramesProcessed, got.FramesProcessed) {
+			t.Errorf("variant %d: frames %v, want %v", i, got.FramesProcessed, want.FramesProcessed)
+		}
+		if want.MinBumperGap != got.MinBumperGap || want.EgoStopped != got.EgoStopped || want.Level != got.Level {
+			t.Errorf("variant %d: summary (gap %v stopped %v level %v), want (gap %v stopped %v level %v)",
+				i, got.MinBumperGap, got.EgoStopped, got.Level, want.MinBumperGap, want.EgoStopped, want.Level)
+		}
+	}
+	return b
+}
+
+// TestBatchMatchesSoloRuns sweeps every registered scenario with a
+// (rate × seed) variant grid. Same-seed rate variants form lockstep
+// groups (shared geometry, different schedules); different jitter
+// seeds change the actor setups, so they must land in separate groups
+// — both paths must reproduce the solo runs exactly.
+func TestBatchMatchesSoloRuns(t *testing.T) {
+	for _, sc := range scenario.Default().List() {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			build := func() []sim.Config {
+				var cfgs []sim.Config
+				for _, seed := range []int64{1, 2} {
+					for _, fpr := range []float64{30, 10, 3} {
+						cfgs = append(cfgs, sc.Build(fpr, seed))
+					}
+				}
+				return cfgs
+			}
+			b := assertBatchMatchesSolo(t, build)
+			groups := b.Groups()
+			// Two seeds → at least two groups; same-seed rate variants
+			// must have been wired together at construction (forks may
+			// split them later).
+			if len(groups) < 2 {
+				t.Errorf("groups %v: seed variants shared a group", groups)
+			}
+			if len(groups)-b.Forks() >= 6 {
+				t.Errorf("groups %v forks %d: rate variants never shared", groups, b.Forks())
+			}
+		})
+	}
+}
+
+// TestBatchEarlyCollision pins the degenerate schedule: an actor
+// overlapping the ego at t=0 collides at step 0, before any camera
+// frame processes, and StopOnCollision ends every variant immediately.
+func TestBatchEarlyCollision(t *testing.T) {
+	sc, ok := scenario.ByName(scenario.CutOut)
+	if !ok {
+		t.Fatal("cut-out not registered")
+	}
+	build := func() []sim.Config {
+		var cfgs []sim.Config
+		for _, fpr := range []float64{30, 3} {
+			cfg := sc.Build(fpr, 1)
+			cfg.Actors = append(cfg.Actors, sim.ActorSpec{
+				ID:     "blocker",
+				Params: vehicle.StaticObstacle(),
+				Init:   vehicle.FrenetState{S: cfg.EgoInit.S + 1, D: cfg.EgoInit.D},
+			})
+			cfg.StopOnCollision = true
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+	b := assertBatchMatchesSolo(t, build)
+	for i := 0; i < b.Len(); i++ {
+		if !b.Sim(i).Done() {
+			t.Errorf("variant %d not done after batch run", i)
+		}
+	}
+}
+
+// TestBatchDynamicRateControllers covers controller-attached variants:
+// the controllers differ per variant, so the camera schedules — and
+// eventually the closed loops — diverge while ground truth stays
+// shared until the fork.
+func TestBatchDynamicRateControllers(t *testing.T) {
+	sc, ok := scenario.ByName(scenario.CutOutFast)
+	if !ok {
+		t.Fatal("cut-out-fast not registered")
+	}
+	build := func() []sim.Config {
+		controllers := []sim.RateController{
+			nil,
+			uniformRates{sensor.Front120: 12, sensor.Left: 4},
+			uniformRates{sensor.Front120: 5},
+		}
+		var cfgs []sim.Config
+		for _, ctrl := range controllers {
+			cfg := sc.Build(30, 3)
+			cfg.RateController = ctrl
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+	assertBatchMatchesSolo(t, build)
+}
+
+// TestBatchMixedRecordLevels lets variants of one lockstep group
+// record at different levels: sharing is about what is computed, not
+// what is materialized.
+func TestBatchMixedRecordLevels(t *testing.T) {
+	sc, ok := scenario.ByName(scenario.CutOut)
+	if !ok {
+		t.Fatal("cut-out not registered")
+	}
+	build := func() []sim.Config {
+		var cfgs []sim.Config
+		for _, lvl := range []trace.Level{trace.LevelFull, trace.LevelSummary, trace.LevelOff} {
+			cfg := sc.Build(10, 1)
+			cfg.Record = lvl
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+	b := assertBatchMatchesSolo(t, build)
+	if g := b.Groups(); len(g) != 1 || g[0] != 3 {
+		t.Errorf("groups = %v, want one group of 3", g)
+	}
+}

@@ -226,7 +226,7 @@ func legacyRun(cfg sim.Config) (*sim.Result, error) {
 		ctx := behavior.Context{Time: t, Road: cfg.Road, Ego: egoState}
 		for _, a := range actors {
 			if a.spec.Script != nil {
-				a.state = a.spec.Script.Step(ctx, a.state, cfg.Dt)
+				a.state = a.spec.Script.Step(&ctx, a.state, cfg.Dt)
 			} else {
 				a.state = a.state.Step(cfg.Dt)
 			}

@@ -194,11 +194,6 @@ func plannerConfig(cfg Config) planner.Config {
 	return planner.DefaultConfig(cfg.DesiredSpeed, cfg.EgoParams)
 }
 
-// snapshotRates copies the live per-camera rate map for one trace row.
-func snapshotRates(rates map[string]float64) map[string]float64 {
-	return maps.Clone(rates)
-}
-
 // SortedCameraNames returns rate-map keys in stable order (helper for
 // deterministic reporting).
 func SortedCameraNames(rates map[string]float64) []string {

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"repro/internal/behavior"
-	"repro/internal/geom"
 	"repro/internal/perception"
 	"repro/internal/planner"
 	"repro/internal/trace"
@@ -59,6 +58,12 @@ func StageNames() []string {
 // monitors, latency models, alternative planners — observe the run
 // through without waiting for a finished trace.
 //
+// The ground-truth scene and everything derived from it alone (the
+// collision sweep, the min-gap candidate, camera cones, occlusion,
+// per-camera visibility) live in a stepShare: a solo run owns a
+// private one; a lockstep Batch points every state-identical variant
+// at the leader's, so the group pays for the shared work once.
+//
 // A Simulation is single-goroutine; the engine provides concurrency
 // across runs, not within one.
 type Simulation struct {
@@ -75,33 +80,44 @@ type Simulation struct {
 	appliedAccel float64
 	actors       []actorRT
 
-	rates     map[string]float64
-	nextFrame []float64 // next frame due per rig camera, s
-	frames    map[string]int
+	// Per-camera state, indexed like cfg.Rig; camNames mirrors the rig
+	// names for map materialization at the API boundary.
+	camNames    []string
+	rateVals    []float64
+	nextFrame   []float64 // next frame due per rig camera, s
+	frameCounts []int
+	framesView  map[string]int // Result's map view, refreshed on Result()
 
-	// Footprint radius bounds (world.FootprintRadiusBound) for the
-	// collision pre-filter, fixed per run.
-	egoDiag   float64
-	actorDiag []float64
+	// Footprint radius bound (world.FootprintRadiusBound) of the ego
+	// for the collision pre-filter, fixed per run.
+	egoDiag float64
 
 	steps, step    int
 	done           bool
 	nextRateUpdate float64
 
+	// own is this simulation's private step context; sh is the one in
+	// use — own when running solo or leading a lockstep group, the
+	// leader's while following one.
+	own *stepShare
+	sh  *stepShare
+
 	// Per-step working state, valid between stages of the current step.
-	t           float64
-	egoAgent    world.Agent
-	actorAgents []world.Agent
-	dec         planner.Decision
-	wm          []world.Agent // perceived world model scratch, reused
+	t          float64
+	egoAgent   world.Agent
+	bctx       behavior.Context // reusable scripted-dynamics context
+	dec        planner.Decision
+	wm         []world.Agent // perceived world model scratch, reused
+	actorsView []world.Agent // materialized ground-truth rows (lazy off LevelFull)
+	actorsLive bool          // actorsView matches the current step's frame
 
 	// rowActors is the LevelFull per-row actor storage: one backing
 	// array carved into a disjoint sub-slice per recorded row, so the
 	// hot loop never allocates per step while every row still owns its
 	// actor states.
 	rowActors []world.Agent
-	// scratch is the Summary/Off ground-truth buffer, reused every step
-	// (no rows retain it).
+	// scratch is the Summary/Off ground-truth view buffer, materialized
+	// only when Actors() is called (no rows retain it).
 	scratch []world.Agent
 }
 
@@ -122,21 +138,23 @@ func New(cfg Config) (*Simulation, error) {
 		egoState: cfg.EgoInit,
 		actors:   make([]actorRT, len(cfg.Actors)),
 
-		rates:     make(map[string]float64, len(cfg.Rig)),
-		nextFrame: make([]float64, len(cfg.Rig)),
-		frames:    make(map[string]int, len(cfg.Rig)),
+		camNames:    cfg.Rig.Names(),
+		rateVals:    make([]float64, len(cfg.Rig)),
+		nextFrame:   make([]float64, len(cfg.Rig)),
+		frameCounts: make([]int, len(cfg.Rig)),
+		framesView:  make(map[string]int, len(cfg.Rig)),
 
 		steps: int(math.Round(cfg.Duration / cfg.Dt)),
 	}
 	s.egoDiag = world.FootprintRadiusBound(cfg.EgoParams.Length, cfg.EgoParams.Width)
-	s.actorDiag = make([]float64, len(cfg.Actors))
 	for i, spec := range cfg.Actors {
 		s.actors[i] = actorRT{spec: spec, state: spec.Init}
-		s.actorDiag[i] = world.FootprintRadiusBound(spec.Params.Length, spec.Params.Width)
 	}
-	for _, c := range cfg.Rig {
-		s.rates[c.Name] = cfg.FPR
+	for ci := range cfg.Rig {
+		s.rateVals[ci] = cfg.FPR
 	}
+	s.own = newStepShare(cfg.Rig, len(cfg.Actors))
+	s.sh = s.own
 
 	if cfg.Record != trace.LevelOff {
 		s.tr = &trace.Trace{Meta: trace.Meta{
@@ -155,7 +173,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	s.res = &Result{
 		Trace:           s.tr,
-		FramesProcessed: s.frames,
+		FramesProcessed: s.framesView,
 		MinBumperGap:    math.Inf(1),
 		Level:           cfg.Record,
 	}
@@ -189,8 +207,16 @@ func (s *Simulation) Done() bool { return s.done }
 
 // Result returns the run outcome. It may be read mid-run (external
 // drivers that stop early still get a coherent summary); the trace
-// mirror of the collision is refreshed on every call.
+// mirror of the collision and the frames-processed view are refreshed
+// on every call.
 func (s *Simulation) Result() *Result {
+	for ci, name := range s.camNames {
+		// Cameras that processed no frames stay absent, matching the
+		// increment-on-first-frame map the result historically carried.
+		if s.frameCounts[ci] > 0 {
+			s.framesView[name] = s.frameCounts[ci]
+		}
+	}
 	if s.tr != nil {
 		s.tr.Collision = s.res.Collision
 	}
@@ -212,96 +238,93 @@ func (s *Simulation) Steps() int { return s.steps }
 // recently executed ground-truth stage.
 func (s *Simulation) Ego() world.Agent { return s.egoAgent }
 
-// Actors returns the ground-truth actor states of the current step.
-// The slice is live simulation state: read, don't hold.
-func (s *Simulation) Actors() []world.Agent { return s.actorAgents }
+// Actors returns the ground-truth actor states of the current step,
+// materialized lazily from the frame at summary levels. The slice is
+// live simulation state: read, don't hold.
+func (s *Simulation) Actors() []world.Agent {
+	if !s.actorsLive {
+		s.actorsView = s.sh.frame.AppendAgents(s.scratch[:0])
+		s.actorsLive = true
+	}
+	return s.actorsView
+}
 
 // WorldModel returns the perceived world model of the current step.
 // The slice is scratch the simulation reuses: read, don't hold.
 func (s *Simulation) WorldModel() []world.Agent { return s.wm }
 
 // Rates returns a snapshot of the per-camera operating rates.
-func (s *Simulation) Rates() map[string]float64 { return snapshotRates(s.rates) }
+func (s *Simulation) Rates() map[string]float64 { return s.ratesMap() }
+
+// ratesMap materializes the per-camera rate slice as a name-keyed map
+// (the API/trace-row boundary representation).
+func (s *Simulation) ratesMap() map[string]float64 {
+	m := make(map[string]float64, len(s.camNames))
+	for ci, name := range s.camNames {
+		m[name] = s.rateVals[ci]
+	}
+	return m
+}
 
 // stageGroundTruth materializes the ground-truth scene for this
-// instant: the ego agent carrying the previously applied acceleration
-// and every scripted actor's current state.
+// instant — through the step share, so lockstep variants scatter the
+// agents once — and derives the ego agent carrying the previously
+// applied acceleration.
 func (s *Simulation) stageGroundTruth() {
-	s.egoAgent = s.egoState.ToAgent(s.cfg.Road, world.EgoID, s.cfg.EgoParams)
+	sh := s.sh
+	if sh.step != s.step {
+		sh.beginStep(s.step, len(s.actors))
+	}
+	sh.ensureGround(s)
+	s.egoAgent = sh.egoAgent
 	s.egoAgent.Accel = s.appliedAccel
 
-	dst := s.scratch[:0]
 	if s.cfg.Record == trace.LevelFull {
 		// Carve this row's disjoint slice out of the preallocated
 		// backing array; the record stage hands it to the trace row.
 		base := s.step * len(s.actors)
-		dst = s.rowActors[base : base : base+len(s.actors)]
+		s.actorsView = sh.frame.AppendAgents(s.rowActors[base : base : base+len(s.actors)])
+		s.actorsLive = true
+	} else {
+		// Summary levels materialize rows only if Actors() asks.
+		s.actorsLive = false
 	}
-	for i := range s.actors {
-		a := &s.actors[i]
-		dst = append(dst, a.state.ToAgent(s.cfg.Road, a.spec.ID, a.spec.Params))
-	}
-	s.actorAgents = dst
 }
 
 // stageCollision detects the first ego collision, ends the run if
 // configured to stop on it, and maintains the closest-approach
-// bookkeeping. A bounding-circle pre-filter (precomputed footprint
-// half-diagonals plus a rounding margin) skips the exact OBB
-// intersection for actors that provably cannot touch the ego; the
-// detected collisions are exactly those of the plain OBB sweep.
+// bookkeeping. The sweeps run once per instant in the step share.
 func (s *Simulation) stageCollision() {
+	sh := s.sh
 	if s.res.Collision == nil {
-		var egoBox geom.OBB
-		haveBox := false
-		for i, a := range s.actorAgents {
-			dx := a.Pose.Pos.X - s.egoAgent.Pose.Pos.X
-			dy := a.Pose.Pos.Y - s.egoAgent.Pose.Pos.Y
-			reach := s.egoDiag + s.actorDiag[i]
-			if dx*dx+dy*dy > reach*reach {
-				continue
-			}
-			if !haveBox {
-				egoBox = s.egoAgent.BBox()
-				haveBox = true
-			}
-			if egoBox.Intersects(a.BBox()) {
-				s.res.Collision = &trace.Collision{Time: s.t, ActorID: a.ID}
-				break
-			}
+		sh.ensureCollision(s.egoDiag)
+		if sh.collided {
+			s.res.Collision = sh.collision(s.t)
 		}
 	}
 	if s.res.Collision != nil && s.cfg.StopOnCollision {
 		s.done = true
 		return
 	}
-	s.updateMinGap()
-}
-
-func (s *Simulation) updateMinGap() {
-	for _, a := range s.actorAgents {
-		as, d := s.cfg.Road.Frenet(a.Pose.Pos)
-		if math.Abs(d-s.egoState.D) > 2.2 {
-			continue
-		}
-		gap := math.Abs(as-s.egoState.S) - (s.egoAgent.Length+a.Length)/2
-		if gap < s.res.MinBumperGap {
-			s.res.MinBumperGap = gap
-		}
+	sh.ensureMinGap(s)
+	if sh.stepMinGap < s.res.MinBumperGap {
+		s.res.MinBumperGap = sh.stepMinGap
 	}
 }
 
 // stageCameras processes every camera frame due at this instant and
-// advances each camera's schedule by its current operating rate.
+// advances each camera's schedule by its current operating rate. The
+// visible-actor index list comes from the step share: cameras due at
+// the same instant for several lockstep variants compute it once.
 func (s *Simulation) stageCameras() {
+	sh := s.sh
 	for ci := range s.cfg.Rig {
-		cam := s.cfg.Rig[ci]
 		if s.t+1e-9 < s.nextFrame[ci] {
 			continue
 		}
-		s.pipe.ProcessFrame(cam, s.t, s.egoAgent, s.actorAgents)
-		s.frames[cam.Name]++
-		rate := s.rates[cam.Name]
+		s.pipe.ProcessFrameIdx(sh.ensureCones(), ci, s.t, sh.frame, sh.visibleIdx(ci))
+		s.frameCounts[ci]++
+		rate := s.rateVals[ci]
 		if rate <= 0 {
 			rate = 1
 		}
@@ -335,9 +358,10 @@ func (s *Simulation) stageRateControl() {
 	if s.cfg.RateController == nil || s.t+1e-9 < s.nextRateUpdate {
 		return
 	}
-	for name, r := range s.cfg.RateController.Rates(s.t, s.egoAgent, s.wm) {
-		if _, ok := s.rates[name]; ok && r > 0 {
-			s.rates[name] = r
+	rates := s.cfg.RateController.Rates(s.t, s.egoAgent, s.wm)
+	for ci, name := range s.camNames {
+		if r, ok := rates[name]; ok && r > 0 {
+			s.rateVals[ci] = r
 		}
 	}
 	s.nextRateUpdate = s.t + s.cfg.RateEpoch
@@ -356,12 +380,12 @@ func (s *Simulation) stageRecord() {
 	}
 	var rowRates map[string]float64
 	if s.cfg.RateController != nil {
-		rowRates = snapshotRates(s.rates)
+		rowRates = s.ratesMap()
 	}
 	s.tr.Rows = append(s.tr.Rows, trace.Row{
 		Time:     s.t,
 		Ego:      s.egoAgent,
-		Actors:   s.actorAgents,
+		Actors:   s.actorsView,
 		CmdAccel: s.appliedAccel,
 		AEB:      s.dec.AEB,
 		Rates:    rowRates,
@@ -372,17 +396,21 @@ func (s *Simulation) stageRecord() {
 // one dt.
 func (s *Simulation) stageDynamics() {
 	s.egoState.Accel = s.appliedAccel
-	s.egoState = s.egoState.Step(s.cfg.Dt)
+	s.egoState.StepInPlace(s.cfg.Dt)
 	if s.egoState.Speed == 0 {
 		s.res.EgoStopped = true
 	}
-	ctx := behavior.Context{Time: s.t, Road: s.cfg.Road, Ego: s.egoState}
+	// bctx lives on the Simulation so taking its address does not force
+	// a per-step heap allocation (Script.StepInto takes a pointer).
+	s.bctx.Time = s.t
+	s.bctx.Road = s.cfg.Road
+	s.bctx.Ego = s.egoState
 	for i := range s.actors {
 		a := &s.actors[i]
 		if a.spec.Script != nil {
-			a.state = a.spec.Script.Step(ctx, a.state, s.cfg.Dt)
+			a.spec.Script.StepInto(&s.bctx, &a.state, s.cfg.Dt)
 		} else {
-			a.state = a.state.Step(s.cfg.Dt)
+			a.state.StepInPlace(s.cfg.Dt)
 		}
 	}
 }

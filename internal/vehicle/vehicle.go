@@ -69,8 +69,15 @@ type FrenetState struct {
 // acceleration, stopping cleanly at zero speed (vehicles do not reverse
 // in the paper's scenarios).
 func (f FrenetState) Step(dt float64) FrenetState {
+	f.StepInPlace(dt)
+	return f
+}
+
+// StepInPlace is Step mutating the receiver — the per-step integration
+// loop's form, which skips the 40-byte copy through the return value.
+func (f *FrenetState) StepInPlace(dt float64) {
 	if dt <= 0 {
-		return f
+		return
 	}
 	v0 := f.Speed
 	a := f.Accel
@@ -84,7 +91,6 @@ func (f FrenetState) Step(dt float64) FrenetState {
 		f.Speed = v0 + a*dt
 	}
 	f.D += f.LatVel * dt
-	return f
 }
 
 // StopDistance returns the distance needed to brake from the current
@@ -115,28 +121,62 @@ func BrakeDistanceTo(v0, vTarget, decel float64) float64 {
 // road. The heading blends the road tangent with the lateral motion so
 // lane-changing vehicles yaw realistically.
 func (f FrenetState) ToAgent(r *road.Road, id string, p Params) world.Agent {
+	var a world.Agent
+	f.FillAgent(&a, r, id, p)
+	return a
+}
+
+// FillAgent is ToAgent writing into dst in place — per-step callers
+// (the shared ground-truth ego slot) skip the copy through the return
+// value.
+func (f FrenetState) FillAgent(dst *world.Agent, r *road.Road, id string, p Params) {
 	pose := r.PoseAtOffset(f.S, f.D)
+	// Field writes, not a composite literal: the literal would build a
+	// 112-byte temporary and block-copy it into dst on every call.
+	dst.ID = id
+	dst.Pose.Pos = pose.Pos
+	dst.Pose.Heading = f.worldHeading(pose.Heading)
+	dst.Speed = f.Speed
+	dst.Accel = f.Accel
+	dst.LatVel = f.LatVel
+	dst.Length = p.Length
+	dst.Width = p.Width
+	dst.Lane = r.LaneAt(f.D)
+	dst.Static = p.MaxAccel == 0 && f.Speed == 0
+}
+
+// worldHeading returns the agent heading for the state: the road
+// tangent blended with the lateral motion (the ToAgent rule).
+func (f FrenetState) worldHeading(refHeading float64) float64 {
 	if f.Speed > 0.1 {
-		pose.Heading += math.Atan2(f.LatVel, f.Speed)
+		if f.LatVel == 0 {
+			// Atan2(±0, x>0) returns ±0 bitwise, so adding LatVel itself
+			// is exactly the blend below — minus the call, which this hot
+			// path (every agent, every step) would otherwise pay even for
+			// the overwhelmingly common straight-driving case.
+			return refHeading + f.LatVel
+		}
+		return refHeading + math.Atan2(f.LatVel, f.Speed)
 	}
-	return world.Agent{
-		ID:     id,
-		Pose:   pose,
-		Speed:  f.Speed,
-		Accel:  f.Accel,
-		LatVel: f.LatVel,
-		Length: p.Length,
-		Width:  p.Width,
-		Lane:   r.LaneAt(f.D),
-		Static: p.MaxAccel == 0 && f.Speed == 0,
-	}
+	return refHeading
+}
+
+// ScatterTo writes the state's world-frame view straight into frame
+// column i: ToAgent minus the intermediate Agent value (and its two
+// 112-byte copies), for the per-step ground-truth scatter. The stored
+// columns are exactly ToAgent's fields.
+func (f FrenetState) ScatterTo(fr *world.Frame, i int, r *road.Road, id string, p Params) {
+	pose := r.PoseAtOffset(f.S, f.D)
+	pose.Heading = f.worldHeading(pose.Heading)
+	fr.SetDirect(i, id, pose, f.Speed, f.Accel, f.LatVel, p.Length, p.Width,
+		r.LaneAt(f.D), p.MaxAccel == 0 && f.Speed == 0)
 }
 
 // ClampAccel limits a requested acceleration to the vehicle's actuation
 // envelope (MaxAccel forward, MaxBrake reverse) and prevents commanding
 // forward acceleration beyond MaxSpeed.
 func (p Params) ClampAccel(req, speed float64) float64 {
-	a := math.Max(-p.MaxBrake, math.Min(p.MaxAccel, req))
+	a := max(-p.MaxBrake, min(p.MaxAccel, req))
 	if speed >= p.MaxSpeed && a > 0 {
 		a = 0
 	}

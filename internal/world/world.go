@@ -48,9 +48,11 @@ func FootprintRadiusBound(length, width float64) float64 {
 }
 
 // Velocity returns the world-frame velocity vector: longitudinal speed
-// along the heading plus lateral velocity to the left.
+// along the heading plus lateral velocity to the left. Left is
+// Forward rotated a quarter turn, so one FromAngle serves both terms.
 func (a Agent) Velocity() geom.Vec2 {
-	return a.Pose.Forward().Scale(a.Speed).Add(a.Pose.Left().Scale(a.LatVel))
+	fwd := geom.FromAngle(a.Pose.Heading)
+	return fwd.Scale(a.Speed).Add(fwd.Perp().Scale(a.LatVel))
 }
 
 // FrontBumper returns the world position of the front bumper center.

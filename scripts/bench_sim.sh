@@ -1,40 +1,61 @@
 #!/usr/bin/env bash
 # Renders BENCH_sim.json from the steppable-core benchmarks (see
 # internal/sim/bench_test.go and campaign_bench_test.go) and gates the
-# headline speedup: a summary-level campaign must run at least 1.5x
-# the throughput of the pre-refactor full-level loop (the frozen
-# legacyRun baseline this PR replaced).
+# two headline speedups:
+#
+#   1. a summary-level campaign must run at least 1.5x the throughput
+#      of the pre-refactor full-level loop (the frozen legacyRun
+#      baseline the steppable-core refactor replaced), and
+#   2. at least 2.0x the throughput of the PR-5 steppable core (the
+#      frozen ns_per_campaign recorded below, measured on the same
+#      reference CPU), the closed-loop compute-diet target.
+#
+# Every benchmark runs BENCH_COUNT times (default 3) and the JSON
+# carries both the minimum and the mean of each timing series. The
+# gates use the minimum: timing noise on a shared machine is strictly
+# additive, so the minimum is the reproducible estimate of intrinsic
+# cost, while the mean moves with whatever else the host was doing.
+# The mean is reported alongside so regressions hiding behind a lucky
+# minimum still show up in review.
 #
 # Usage: scripts/bench_sim.sh [output.json]
-#   BENCH_TIME=3x scripts/bench_sim.sh   # more iterations per bench
+#   BENCH_TIME=3x BENCH_COUNT=5 scripts/bench_sim.sh   # more samples
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sim.json}"
 benchtime="${BENCH_TIME:-2x}"
+benchcount="${BENCH_COUNT:-3}"
+
+# PR-5 reference: BENCH_sim.json as committed by the steppable-core PR,
+# summary-level campaign on Intel(R) Xeon(R) Processor @ 2.10GHz.
+pr5_campaign_summary_ns=2681533492
 
 raw=$(go test -run '^$' \
 	-bench 'BenchmarkStep$|BenchmarkStepLegacyLoop$|BenchmarkCampaign(LegacyLoop|FullTrace|SummaryOnly)$' \
-	-benchtime "$benchtime" ./internal/sim)
+	-benchtime "$benchtime" -count "$benchcount" ./internal/sim)
 echo "$raw"
 
 cpu=$(echo "$raw" | awk -F': ' '/^cpu:/ {print $2}')
 
 # Benchmark lines look like:
 #   BenchmarkStep/full-4  10  3898707 ns/op  2000 steps/op  705779 B/op  28 allocs/op
-# metric() pulls one "<value> <unit>" field for a benchmark name
-# (CPU-count suffix stripped).
-metric() { # metric <name> <unit>
+# samples() pulls every "<value> <unit>" field for a benchmark name
+# (CPU-count suffix stripped), one line per -count repetition.
+samples() { # samples <name> <unit>
 	echo "$raw" | awk -v want="$1" -v unit="$2" '
 		/^Benchmark/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
 			if (name != want) next
-			for (i = 2; i < NF; i++) if ($(i + 1) == unit) { print $i; exit }
+			for (i = 2; i < NF; i++) if ($(i + 1) == unit) print $i
 		}'
 }
 
-need() {
-	v=$(metric "$1" "$2")
+agg() { # agg <name> <unit> <min|mean>
+	v=$(samples "$1" "$2" | awk -v how="$3" '
+		NR == 1 || $1 < m { m = $1 }
+		{ s += $1; n++ }
+		END { if (n) printf "%.0f", (how == "mean") ? s / n : m }')
 	if [ -z "$v" ]; then
 		echo "bench_sim: no $2 for $1" >&2
 		exit 1
@@ -42,60 +63,77 @@ need() {
 	echo "$v"
 }
 
-step_legacy_ns=$(need BenchmarkStepLegacyLoop ns/op)
-step_legacy_allocs=$(need BenchmarkStepLegacyLoop allocs/op)
-step_full_ns=$(need BenchmarkStep/full ns/op)
-step_full_allocs=$(need BenchmarkStep/full allocs/op)
-step_summary_ns=$(need BenchmarkStep/summary ns/op)
-step_summary_allocs=$(need BenchmarkStep/summary allocs/op)
-step_off_ns=$(need BenchmarkStep/off ns/op)
-step_off_allocs=$(need BenchmarkStep/off allocs/op)
-camp_legacy_ns=$(need BenchmarkCampaignLegacyLoop ns/op)
-camp_legacy_bytes=$(need BenchmarkCampaignLegacyLoop B/op)
-camp_legacy_allocs=$(need BenchmarkCampaignLegacyLoop allocs/op)
-camp_full_ns=$(need BenchmarkCampaignFullTrace ns/op)
-camp_full_bytes=$(need BenchmarkCampaignFullTrace B/op)
-camp_full_allocs=$(need BenchmarkCampaignFullTrace allocs/op)
-camp_summary_ns=$(need BenchmarkCampaignSummaryOnly ns/op)
-camp_summary_bytes=$(need BenchmarkCampaignSummaryOnly B/op)
-camp_summary_allocs=$(need BenchmarkCampaignSummaryOnly allocs/op)
-points=$(need BenchmarkCampaignSummaryOnly points/op)
+step_legacy_ns=$(agg BenchmarkStepLegacyLoop ns/op min)
+step_legacy_ns_mean=$(agg BenchmarkStepLegacyLoop ns/op mean)
+step_legacy_allocs=$(agg BenchmarkStepLegacyLoop allocs/op min)
+step_full_ns=$(agg BenchmarkStep/full ns/op min)
+step_full_ns_mean=$(agg BenchmarkStep/full ns/op mean)
+step_full_allocs=$(agg BenchmarkStep/full allocs/op min)
+step_summary_ns=$(agg BenchmarkStep/summary ns/op min)
+step_summary_ns_mean=$(agg BenchmarkStep/summary ns/op mean)
+step_summary_allocs=$(agg BenchmarkStep/summary allocs/op min)
+step_off_ns=$(agg BenchmarkStep/off ns/op min)
+step_off_ns_mean=$(agg BenchmarkStep/off ns/op mean)
+step_off_allocs=$(agg BenchmarkStep/off allocs/op min)
+camp_legacy_ns=$(agg BenchmarkCampaignLegacyLoop ns/op min)
+camp_legacy_ns_mean=$(agg BenchmarkCampaignLegacyLoop ns/op mean)
+camp_legacy_bytes=$(agg BenchmarkCampaignLegacyLoop B/op min)
+camp_legacy_allocs=$(agg BenchmarkCampaignLegacyLoop allocs/op min)
+camp_full_ns=$(agg BenchmarkCampaignFullTrace ns/op min)
+camp_full_ns_mean=$(agg BenchmarkCampaignFullTrace ns/op mean)
+camp_full_bytes=$(agg BenchmarkCampaignFullTrace B/op min)
+camp_full_allocs=$(agg BenchmarkCampaignFullTrace allocs/op min)
+camp_summary_ns=$(agg BenchmarkCampaignSummaryOnly ns/op min)
+camp_summary_ns_mean=$(agg BenchmarkCampaignSummaryOnly ns/op mean)
+camp_summary_bytes=$(agg BenchmarkCampaignSummaryOnly B/op min)
+camp_summary_allocs=$(agg BenchmarkCampaignSummaryOnly allocs/op min)
+points=$(agg BenchmarkCampaignSummaryOnly points/op min)
 
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
 r_summary_vs_legacy=$(ratio "$camp_legacy_ns" "$camp_summary_ns")
 r_full_vs_legacy=$(ratio "$camp_legacy_ns" "$camp_full_ns")
 r_summary_vs_full=$(ratio "$camp_full_ns" "$camp_summary_ns")
+r_summary_vs_pr5=$(ratio "$pr5_campaign_summary_ns" "$camp_summary_ns")
+r_summary_vs_pr5_mean=$(ratio "$pr5_campaign_summary_ns" "$camp_summary_ns_mean")
 r_step_alloc_drop=$(ratio "$step_legacy_allocs" "$step_summary_allocs")
 
 cat > "$out" <<JSON
 {
-  "generated_by": "scripts/bench_sim.sh (benchtime $benchtime)",
+  "generated_by": "scripts/bench_sim.sh (benchtime $benchtime, count $benchcount; ns values are min over repetitions, _mean is the arithmetic mean)",
   "cpu": "$cpu",
   "workload": {
     "step": "one 20 s / dt 10 ms closed-loop run (2 actors, default 5-camera rig, 30 FPR); see internal/sim/bench_test.go",
     "campaign": "$points engine-scheduled points: 9 Table-1 scenarios x 12-rate Table-1 grid x 10 seeds; see internal/sim/campaign_bench_test.go"
   },
   "step": {
-    "legacy_loop": { "ns_per_run": $step_legacy_ns, "allocs_per_run": $step_legacy_allocs },
-    "full":        { "ns_per_run": $step_full_ns, "allocs_per_run": $step_full_allocs },
-    "summary":     { "ns_per_run": $step_summary_ns, "allocs_per_run": $step_summary_allocs },
-    "off":         { "ns_per_run": $step_off_ns, "allocs_per_run": $step_off_allocs }
+    "legacy_loop": { "ns_per_run": $step_legacy_ns, "ns_per_run_mean": $step_legacy_ns_mean, "allocs_per_run": $step_legacy_allocs },
+    "full":        { "ns_per_run": $step_full_ns, "ns_per_run_mean": $step_full_ns_mean, "allocs_per_run": $step_full_allocs },
+    "summary":     { "ns_per_run": $step_summary_ns, "ns_per_run_mean": $step_summary_ns_mean, "allocs_per_run": $step_summary_allocs },
+    "off":         { "ns_per_run": $step_off_ns, "ns_per_run_mean": $step_off_ns_mean, "allocs_per_run": $step_off_allocs }
   },
   "campaign": {
-    "legacy_loop": { "ns_per_campaign": $camp_legacy_ns, "bytes_per_campaign": $camp_legacy_bytes, "allocs_per_campaign": $camp_legacy_allocs },
-    "full":        { "ns_per_campaign": $camp_full_ns, "bytes_per_campaign": $camp_full_bytes, "allocs_per_campaign": $camp_full_allocs },
-    "summary":     { "ns_per_campaign": $camp_summary_ns, "bytes_per_campaign": $camp_summary_bytes, "allocs_per_campaign": $camp_summary_allocs }
+    "legacy_loop": { "ns_per_campaign": $camp_legacy_ns, "ns_per_campaign_mean": $camp_legacy_ns_mean, "bytes_per_campaign": $camp_legacy_bytes, "allocs_per_campaign": $camp_legacy_allocs },
+    "full":        { "ns_per_campaign": $camp_full_ns, "ns_per_campaign_mean": $camp_full_ns_mean, "bytes_per_campaign": $camp_full_bytes, "allocs_per_campaign": $camp_full_allocs },
+    "summary":     { "ns_per_campaign": $camp_summary_ns, "ns_per_campaign_mean": $camp_summary_ns_mean, "bytes_per_campaign": $camp_summary_bytes, "allocs_per_campaign": $camp_summary_allocs }
+  },
+  "baseline_pr5": {
+    "ns_per_campaign_summary": $pr5_campaign_summary_ns,
+    "cpu": "Intel(R) Xeon(R) Processor @ 2.10GHz",
+    "note": "frozen summary-campaign cost from the steppable-core PR's committed BENCH_sim.json; the compute-diet gate measures against it"
   },
   "ratios": {
     "campaign_summary_vs_prerefactor": $r_summary_vs_legacy,
     "campaign_full_vs_prerefactor": $r_full_vs_legacy,
     "campaign_summary_vs_full": $r_summary_vs_full,
+    "campaign_summary_vs_pr5": $r_summary_vs_pr5,
+    "campaign_summary_vs_pr5_mean": $r_summary_vs_pr5_mean,
     "step_allocs_prerefactor_vs_summary": $r_step_alloc_drop
   },
   "notes": [
-    "legacy_loop is the frozen pre-refactor sim.Run (golden_equiv_test.go), i.e. the throughput campaigns had before this refactor; it runs on today's subsystem code, so the comparison isolates the loop structure, recording level, and allocation diet.",
-    "summary-vs-full is smaller than summary-vs-prerefactor because the simulator's closed-loop compute (sensor cones, perception filters, IDM planning) dominates a step once recording no longer allocates; the recording level removes the trace materialization, the stage refactor removed the per-step allocation churn.",
+    "legacy_loop is the frozen pre-refactor sim.Run (golden_equiv_test.go), i.e. the throughput campaigns had before the steppable-core refactor; it runs on today's subsystem code, so the comparison isolates the loop structure, recording level, and allocation diet.",
+    "campaign_summary_vs_pr5 compares against the frozen PR-5 number above, so it measures the closed-loop compute diet alone: SoA scatter memos, precompiled centerlines, copy-free call boundaries, lockstep batching.",
+    "gates use the min over repetitions: scheduler noise only ever adds time, so the min is the reproducible estimate of intrinsic cost; the _mean fields expose the spread.",
     "docs/benchmarks.md explains every series; regenerate with scripts/bench_sim.sh."
   ]
 }
@@ -105,4 +143,8 @@ echo "bench_sim: wrote $out"
 awk -v r="$r_summary_vs_legacy" 'BEGIN {
 	printf "bench_sim: summary-level campaign throughput = %.2fx the pre-refactor full-level loop (gate: >= 1.5)\n", r
 	exit (r >= 1.5) ? 0 : 1
-}' || { echo "bench_sim: speedup gate FAILED" >&2; exit 1; }
+}' || { echo "bench_sim: pre-refactor speedup gate FAILED" >&2; exit 1; }
+awk -v r="$r_summary_vs_pr5" 'BEGIN {
+	printf "bench_sim: summary-level campaign throughput = %.2fx the PR-5 steppable core (gate: >= 2.0)\n", r
+	exit (r >= 2.0) ? 0 : 1
+}' || { echo "bench_sim: compute-diet speedup gate FAILED" >&2; exit 1; }
