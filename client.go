@@ -190,6 +190,12 @@ func (c *Client) CampaignStream(ctx context.Context, points []CampaignPoint, fn 
 			if cl.Error != "" {
 				trailerErr = fmt.Errorf("zhuyi: campaign: %s", cl.Error)
 			}
+		case cl.Error != "":
+			// An error-only line (no point, no stats) is the server
+			// aborting the stream — the fabric coordinator emits one when
+			// every replica is lost. Surface the server's words instead of
+			// the misleading "ended without a stats trailer".
+			return res, fmt.Errorf("zhuyi: campaign: %s", cl.Error)
 		}
 	}
 	if err := sc.Err(); err != nil {

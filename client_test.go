@@ -3,6 +3,7 @@ package zhuyi
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -241,5 +242,39 @@ func TestOpenStoreOnFile(t *testing.T) {
 	}
 	if _, err := OpenStore(path); err == nil {
 		t.Error("OpenStore on a regular file did not error")
+	}
+}
+
+// Regression: a stream line carrying only Error (no point, no stats) —
+// the server aborting mid-stream — used to be silently dropped, so the
+// caller saw a misleading "ended without a stats trailer". The real
+// server error must surface.
+func TestClientErrorOnlyStreamLine(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/campaign" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// One real point outcome, then an abort line.
+		io.WriteString(w, `{"point":{"index":0,"scenario":"cut-out-fast","fpr":30,"seed":1,"source":"fresh","min_gap_infinite":true}}`+"\n")
+		io.WriteString(w, `{"error":"all replicas unreachable"}`+"\n")
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	points := []CampaignPoint{
+		{Scenario: ScenarioCutOut, FPR: 30, Seed: 1},
+		{Scenario: ScenarioCutOut, FPR: 30, Seed: 2},
+	}
+	res, err := cl.CampaignStream(context.Background(), points, nil)
+	if err == nil {
+		t.Fatal("error-only stream line was dropped; want the server's abort error")
+	}
+	if !strings.Contains(err.Error(), "all replicas unreachable") {
+		t.Errorf("error %q does not carry the server's message", err)
+	}
+	if res == nil || res.Outcomes[0].Err != nil {
+		t.Errorf("outcome delivered before the abort must survive: %+v", res)
 	}
 }

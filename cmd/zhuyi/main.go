@@ -310,7 +310,11 @@ func cmdScenariosGenerate(args []string) error {
 	for _, f := range splitList(*families) {
 		fams = append(fams, scenario.Family(f))
 	}
-	specs := scenario.NewGenerator(scenario.GenOptions{Seed: *seed, Families: fams}).Generate(*n)
+	opt := scenario.GenOptions{Seed: *seed, Families: fams}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	specs := scenario.NewGenerator(opt).Generate(*n)
 
 	names := make(map[string]bool, len(specs))
 	fmt.Printf("%-24s %5s %s\n", "Name", "mph", "Description")

@@ -5,6 +5,11 @@ package main
 // — in-flight campaign streams finish (up to a drain timeout) before
 // the process exits, and the engine's lifetime stats are printed on
 // the way out.
+//
+// With -coordinator, the same subcommand binds the fabric tier instead
+// (internal/fabric): campaign points shard across the -replicas worker
+// set by consistent hashing, warm queries answer from the shared
+// -store manifest, and dead replicas are retried around the ring.
 
 import (
 	"context"
@@ -19,7 +24,9 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -29,7 +36,19 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "persistent run store: archived points answer from disk, fresh runs are archived")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
+	coordinator := fs.Bool("coordinator", false, "run as a fabric coordinator sharding campaigns across -replicas instead of simulating locally")
+	replicas := fs.String("replicas", "", "coordinator mode: comma-separated worker base URLs (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+	stall := fs.Duration("stall-timeout", 60*time.Second, "coordinator mode: per-point completion watchdog; a replica streaming nothing for this long is retried around the ring")
+	retries := fs.Int("retries", 0, "coordinator mode: extra replicas offered to a point after its owner fails (0 = up to 2)")
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "coordinator mode: base delay before each retry wave")
 	fs.Parse(args)
+
+	if *coordinator {
+		return serveCoordinator(*addr, *storeDir, *replicas, *stall, *retries, *backoff, *drain)
+	}
+	if *replicas != "" {
+		return fmt.Errorf("serve: -replicas requires -coordinator")
+	}
 
 	// Campaign responses stream summaries, never traces, so the service
 	// engine records at summary level; with a store attached the engine
@@ -56,7 +75,67 @@ func cmdServe(args []string) error {
 	fmt.Printf("zhuyi serve: listening on http://%s (workers %d, store %s)\n",
 		ln.Addr(), eng.Workers(), storeNote)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	if err := serveUntilSignal(ln, srv.Handler(), *drain); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Printf("zhuyi serve: done — %d fresh simulations, %d memory hits, %d disk hits, %d archived\n",
+		st.Executed, st.CacheHits, st.DiskHits, st.Archived)
+	return nil
+}
+
+// serveCoordinator runs the fabric tier: shared-store warm answers,
+// cold fan-out to the replica set.
+func serveCoordinator(addr, storeDir, replicas string, stall time.Duration, retries int, backoff time.Duration, drain time.Duration) error {
+	urls := splitList(replicas)
+	if len(urls) == 0 {
+		return fmt.Errorf("serve: -coordinator requires -replicas URL[,URL...]")
+	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	coord, err := fabric.New(fabric.Options{
+		Replicas:     urls,
+		Store:        st,
+		StallTimeout: stall,
+		Retries:      retries,
+		Backoff:      backoff,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	storeNote := "none"
+	if storeDir != "" {
+		storeNote = storeDir
+	}
+	// Same machine-read shape as worker mode, plus the replica count so
+	// the fabric smoke can assert what it started.
+	fmt.Printf("zhuyi serve: listening on http://%s (coordinator, %d replicas, store %s)\n",
+		ln.Addr(), len(urls), storeNote)
+
+	if err := serveUntilSignal(ln, coord.Handler(), drain); err != nil {
+		return err
+	}
+	es := coord.Ring()
+	fmt.Printf("zhuyi serve: coordinator done — %d replicas\n", len(es.Replicas()))
+	return nil
+}
+
+// serveUntilSignal serves the handler until SIGINT/SIGTERM, then
+// drains in-flight requests for up to the drain timeout.
+func serveUntilSignal(ln net.Listener, h http.Handler, drain time.Duration) error {
+	hs := &http.Server{Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -68,7 +147,7 @@ func cmdServe(args []string) error {
 		// streams complete, then close.
 		stop()
 		fmt.Println("zhuyi serve: shutting down, draining in-flight requests")
-		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := hs.Shutdown(dctx); err != nil {
 			return fmt.Errorf("serve: drain: %w", err)
@@ -78,8 +157,5 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
-	st := eng.Stats()
-	fmt.Printf("zhuyi serve: done — %d fresh simulations, %d memory hits, %d disk hits, %d archived\n",
-		st.Executed, st.CacheHits, st.DiskHits, st.Archived)
 	return nil
 }

@@ -243,6 +243,11 @@ type Stats struct {
 	Archived    int64 // fresh runs written to the persistent store
 	Failures    int64
 	StoreErrors int64 // store lookups/archives that failed (runs unaffected)
+	// ManifestHits counts Peek answers: queries satisfied from the
+	// manifest summary alone, no artifact decode and no simulation (each
+	// also counts as a DiskHit). The fabric coordinator's warm tier runs
+	// entirely on these.
+	ManifestHits int64
 	// LockstepGroups counts multi-variant sim.Batch executions;
 	// LockstepRuns counts the simulations they covered (each also in
 	// Executed).
@@ -295,14 +300,15 @@ type Engine struct {
 	// otherwise decompress and decode hundreds of traces at once.
 	diskSem chan struct{}
 
-	executed   atomic.Int64
-	cacheHits  atomic.Int64
-	diskHits   atomic.Int64
-	archived   atomic.Int64
-	failures   atomic.Int64
-	storeErrs  atomic.Int64
-	lockGroups atomic.Int64
-	lockRuns   atomic.Int64
+	executed     atomic.Int64
+	cacheHits    atomic.Int64
+	diskHits     atomic.Int64
+	manifestHits atomic.Int64
+	archived     atomic.Int64
+	failures     atomic.Int64
+	storeErrs    atomic.Int64
+	lockGroups   atomic.Int64
+	lockRuns     atomic.Int64
 }
 
 // New builds an engine. Workers are started lazily on first submission.
@@ -339,12 +345,13 @@ func (e *Engine) Store() *store.Store { return e.opts.Store }
 // Stats snapshots the engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Executed:    e.executed.Load(),
-		CacheHits:   e.cacheHits.Load(),
-		DiskHits:    e.diskHits.Load(),
-		Archived:    e.archived.Load(),
-		Failures:    e.failures.Load(),
-		StoreErrors: e.storeErrs.Load(),
+		Executed:     e.executed.Load(),
+		CacheHits:    e.cacheHits.Load(),
+		DiskHits:     e.diskHits.Load(),
+		Archived:     e.archived.Load(),
+		Failures:     e.failures.Load(),
+		StoreErrors:  e.storeErrs.Load(),
+		ManifestHits: e.manifestHits.Load(),
 
 		LockstepGroups: e.lockGroups.Load(),
 		LockstepRuns:   e.lockRuns.Load(),
@@ -537,6 +544,7 @@ func (e *Engine) Peek(j Job) (store.Entry, bool) {
 	ent, ok := e.opts.Store.Lookup(store.KeyForScenario(j.Scenario, j.FPR, j.Seed))
 	if ok {
 		e.diskHits.Add(1)
+		e.manifestHits.Add(1)
 	}
 	return ent, ok
 }

@@ -128,11 +128,15 @@ func CorpusSweep(ctx context.Context, opt CorpusOptions) (*CorpusResult, error) 
 	// generator identity into the name prefix: corpora from different
 	// seeds or family sets can never alias each other's cached runs on a
 	// shared engine.
-	gen := scenario.NewGenerator(scenario.GenOptions{
+	genOpt := scenario.GenOptions{
 		Seed:     opt.GenSeed,
 		Families: opt.Families,
 		Prefix:   corpusPrefix(opt.GenSeed, opt.Families, opt.Record),
-	})
+	}
+	if err := genOpt.Validate(); err != nil {
+		return nil, err
+	}
+	gen := scenario.NewGenerator(genOpt)
 	for _, sp := range gen.Generate(opt.N) {
 		fam := string(scenario.FamilyCutIn)
 		for _, f := range scenario.Families() {

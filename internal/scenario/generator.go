@@ -52,8 +52,48 @@ type Generator struct {
 	n        int
 }
 
-// NewGenerator builds a generator.
+// Validate checks the options against the known spec families. Every
+// caller that accepts family names from outside the process (HTTP
+// query, CLI flag, facade) must validate before constructing a
+// generator: an unknown family has no sampler, and silently mapping it
+// to some default would hand back specs named and tagged with a family
+// they don't belong to.
+func (o GenOptions) Validate() error {
+	known := Families()
+	for _, f := range o.Families {
+		ok := false
+		for _, k := range known {
+			if f == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("scenario: unknown family %q (families: %s)", f, familyNames(known))
+		}
+	}
+	return nil
+}
+
+// familyNames renders a family list for error messages.
+func familyNames(fams []Family) string {
+	s := ""
+	for i, f := range fams {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(f)
+	}
+	return s
+}
+
+// NewGenerator builds a generator. The options must be valid: unknown
+// families panic here rather than mislabeling specs later (callers
+// holding untrusted family names gate on GenOptions.Validate first).
 func NewGenerator(opt GenOptions) *Generator {
+	if err := opt.Validate(); err != nil {
+		panic(err)
+	}
 	fams := opt.Families
 	if len(fams) == 0 {
 		fams = Families()
@@ -85,6 +125,8 @@ func (g *Generator) Next() Spec {
 	name := fmt.Sprintf("%s/%s-%04d", g.prefix, family, g.n)
 	var sp Spec
 	switch family {
+	case FamilyCutIn:
+		sp = g.cutIn()
 	case FamilyCutOut:
 		sp = g.cutOut()
 	case FamilyFollowing:
@@ -94,7 +136,9 @@ func (g *Generator) Next() Spec {
 	case FamilyActivity:
 		sp = g.activity()
 	default:
-		sp = g.cutIn()
+		// Unreachable: NewGenerator validated the family list. A silent
+		// fallback here once mislabeled unknown families as cut-in specs.
+		panic(fmt.Sprintf("scenario: no sampler for family %q", family))
 	}
 	sp.Name = name
 	sp.Tags = []string{TagGenerated, string(family)}

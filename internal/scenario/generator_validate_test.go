@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression for the silent family fallthrough: an unknown family used
+// to sample cut-in specs named and tagged with the bogus family.
+// GenOptions.Validate must reject it, and NewGenerator must refuse to
+// construct rather than mislabel.
+func TestGenOptionsValidateRejectsUnknownFamily(t *testing.T) {
+	if err := (GenOptions{Families: []Family{"bogus"}}).Validate(); err == nil {
+		t.Error("Validate accepted an unknown family")
+	} else if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), string(FamilyCutIn)) {
+		t.Errorf("error %q should name the bad family and list the valid ones", err)
+	}
+	if err := (GenOptions{}).Validate(); err != nil {
+		t.Errorf("empty families (= all) must validate: %v", err)
+	}
+	if err := (GenOptions{Families: Families()}).Validate(); err != nil {
+		t.Errorf("full family list must validate: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGenerator built a generator over an unknown family")
+		}
+	}()
+	NewGenerator(GenOptions{Families: []Family{FamilyCutIn, "bogus"}})
+}
+
+// Every declared family must have a sampler: Next over the full family
+// list may never hit the no-sampler panic, and each spec must carry its
+// own family tag (not another family's).
+func TestEveryFamilyHasASampler(t *testing.T) {
+	fams := Families()
+	specs := NewGenerator(GenOptions{Seed: 11}).Generate(len(fams))
+	for i, sp := range specs {
+		if want := string(fams[i]); !sp.HasTag(want) {
+			t.Errorf("spec %d (%s) lacks its family tag %q (tags %v)", i, sp.Name, want, sp.Tags)
+		}
+	}
+}

@@ -164,6 +164,38 @@ type EngineStats struct {
 	Archived    int64 `json:"archived"`
 	Failures    int64 `json:"failures"`
 	StoreErrors int64 `json:"store_errors"`
+	// ManifestHits counts queries answered from the store manifest
+	// summary alone (no artifact decode, no simulation) — the fabric
+	// coordinator's warm tier.
+	ManifestHits int64 `json:"manifest_hits"`
+}
+
+// ReplicaStats are one fabric replica's coordinator-side counters.
+type ReplicaStats struct {
+	URL string `json:"url"`
+	// Healthy reflects the last delegation attempt: false after a
+	// failed stream until a later attempt succeeds.
+	Healthy bool `json:"healthy"`
+	// Assigned counts campaign points partitioned to this replica
+	// (retries of the same point onto another replica count there).
+	Assigned int64 `json:"assigned"`
+	// Completed counts point outcomes this replica streamed back.
+	Completed int64 `json:"completed"`
+	// Failures counts delegation attempts that errored (connection
+	// refused, mid-stream death, timeout).
+	Failures int64 `json:"failures"`
+}
+
+// FabricStats are the coordinator's fan-out counters, present on
+// GET /v1/stats only in coordinator mode.
+type FabricStats struct {
+	Replicas []ReplicaStats `json:"replicas"`
+	// Retried counts points re-partitioned onto the next replica on the
+	// ring after their owner failed mid-campaign.
+	Retried int64 `json:"retried"`
+	// Proxied counts cold MRF searches delegated to a replica because
+	// the shared manifest could not answer them.
+	Proxied int64 `json:"proxied"`
 }
 
 // ServerStats are service-lifetime request counters.
@@ -181,6 +213,9 @@ type StatsResponse struct {
 	Engine  EngineStats    `json:"engine"`
 	Server  ServerStats    `json:"server"`
 	Store   *store.Summary `json:"store,omitempty"`
+	// Fabric is set only by a coordinator: per-replica health and
+	// assignment counters plus retry/proxy totals.
+	Fabric *FabricStats `json:"fabric,omitempty"`
 }
 
 // StoreResponse is the body of GET /v1/store.
@@ -266,6 +301,21 @@ func outcomeToPointResult(i int, o engine.Outcome) PointResult {
 		pr.Rows = res.Trace.Len()
 	}
 	return pr
+}
+
+// EngineStatsToWire lifts engine counters to their wire form; the
+// fabric coordinator shares it so its /v1/stats engine block cannot
+// drift from a worker's.
+func EngineStatsToWire(s engine.Stats) EngineStats {
+	return EngineStats{
+		Executed:     s.Executed,
+		CacheHits:    s.CacheHits,
+		DiskHits:     s.DiskHits,
+		Archived:     s.Archived,
+		Failures:     s.Failures,
+		StoreErrors:  s.StoreErrors,
+		ManifestHits: s.ManifestHits,
+	}
 }
 
 func statsToWire(s engine.CampaignStats) CampaignStats {

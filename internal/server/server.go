@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"slices"
 	"sort"
@@ -260,27 +261,10 @@ func (s *Server) handleMRF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown scenario %q (GET /v1/scenarios)", name)
 		return
 	}
-	seeds := 10
-	if v := r.URL.Query().Get("seeds"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, "bad seeds %q", v)
-			return
-		}
-		seeds = n
-	}
-	fprs := metrics.DefaultFPRGrid()
-	if v := r.URL.Query().Get("fprs"); v != "" {
-		parsed, err := parseFloats(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad fprs %q: %v", v, err)
-			return
-		}
-		// The MRF search walks the grid descending from the last element
-		// and reads fprs[i+1] as "the next-higher rate", so it requires
-		// an ascending, duplicate-free grid; normalize user input.
-		sort.Float64s(parsed)
-		fprs = slices.Compact(parsed)
+	seeds, fprs, err := ParseMRFQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	// One cheap GET must not schedule unbounded work on the shared
 	// engine: the search costs at most seeds x len(grid) points, capped
@@ -294,6 +278,41 @@ func (s *Server) handleMRF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "mrf %s: %v", name, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, MRFResponseFor(m, fprs))
+}
+
+// ParseMRFQuery parses the seeds/fprs query parameters of
+// GET /v1/mrf/{scenario}, defaulting to 10 seeds on the default FPR
+// grid. The fabric coordinator parses with the same function before
+// deciding whether the shared manifest can answer, so worker and
+// coordinator cannot disagree about the searched grid.
+func ParseMRFQuery(q url.Values) (seeds int, fprs []float64, err error) {
+	seeds = 10
+	if v := q.Get("seeds"); v != "" {
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n <= 0 {
+			return 0, nil, fmt.Errorf("bad seeds %q", v)
+		}
+		seeds = n
+	}
+	fprs = metrics.DefaultFPRGrid()
+	if v := q.Get("fprs"); v != "" {
+		parsed, perr := parseFloats(v)
+		if perr != nil {
+			return 0, nil, fmt.Errorf("bad fprs %q: %v", v, perr)
+		}
+		// The MRF search walks the grid descending from the last element
+		// and reads fprs[i+1] as "the next-higher rate", so it requires
+		// an ascending, duplicate-free grid; normalize user input.
+		sort.Float64s(parsed)
+		fprs = slices.Compact(parsed)
+	}
+	return seeds, fprs, nil
+}
+
+// MRFResponseFor shapes a completed MRF search into its wire form over
+// the searched grid (shared with the fabric coordinator's warm path).
+func MRFResponseFor(m metrics.MRF, fprs []float64) MRFResponse {
 	resp := MRFResponse{Scenario: m.Scenario, MRF: m.Value, BelowGrid: m.BelowGrid(), Seeds: m.Seeds, Runs: m.Runs}
 	if math.IsInf(m.Value, 1) {
 		// "Unsafe at every tested rate" is not representable in JSON as
@@ -305,7 +324,7 @@ func (s *Server) handleMRF(w http.ResponseWriter, r *http.Request) {
 			resp.Grid = append(resp.Grid, RatePoint{FPR: f, Collisions: n})
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // agentFromWire lowers a wire AgentState to a world.Agent, defaulting
@@ -411,7 +430,12 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		for _, f := range splitComma(q.Get("families")) {
 			fams = append(fams, scenario.Family(f))
 		}
-		specs := scenario.NewGenerator(scenario.GenOptions{Seed: seed, Families: fams}).Generate(n)
+		opt := scenario.GenOptions{Seed: seed, Families: fams}
+		if err := opt.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		specs := scenario.NewGenerator(opt).Generate(n)
 		resp := ScenariosResponse{Generated: true, Seed: seed}
 		for _, sp := range specs {
 			resp.Scenarios = append(resp.Scenarios, scenario.InfoOf(sp))
@@ -426,14 +450,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.eng.Stats()
 	resp := StatsResponse{
 		Workers: s.eng.Workers(),
-		Engine: EngineStats{
-			Executed:    es.Executed,
-			CacheHits:   es.CacheHits,
-			DiskHits:    es.DiskHits,
-			Archived:    es.Archived,
-			Failures:    es.Failures,
-			StoreErrors: es.StoreErrors,
-		},
+		Engine:  EngineStatsToWire(es),
 		Server: ServerStats{
 			Requests:       s.requests.Load(),
 			Campaigns:      s.campaigns.Load(),

@@ -318,6 +318,32 @@ func TestScenariosEndpoint(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/v1/scenarios?corpus=0", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("corpus=0: status %d, want 400", resp.StatusCode)
 	}
+	// Regression: an unknown family used to fall through to cut-in
+	// sampling and come back mislabeled; it must be a 400 naming the
+	// bogus family.
+	resp, err := http.Get(ts.URL + "/v1/scenarios?corpus=3&families=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("families=bogus: status %d, want 400", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(apiErr.Error, "bogus") {
+		t.Errorf("families=bogus error %q does not name the family", apiErr.Error)
+	}
+	// Valid family subsets still generate.
+	var only ScenariosResponse
+	getJSON(t, ts.URL+"/v1/scenarios?corpus=3&families=cut-out", &only)
+	if len(only.Scenarios) != 3 {
+		t.Errorf("families=cut-out corpus: %d scenarios, want 3", len(only.Scenarios))
+	}
 }
 
 func TestStoreEndpoints(t *testing.T) {

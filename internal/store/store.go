@@ -40,6 +40,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -115,6 +116,13 @@ type Store struct {
 	index    map[Key]Entry
 	order    []Key // first-recorded order, deduplicated
 	manifest *os.File
+	// loaded is the manifest byte offset up to which the index has been
+	// ingested — the high-water mark of refreshLocked's incremental
+	// tail reads. Bytes past it are lines appended by other processes
+	// sharing the directory (fabric replicas) that this process has not
+	// indexed yet, plus this process's own appends (re-ingesting those
+	// is an idempotent no-op).
+	loaded int64
 }
 
 // Open opens (creating if needed) the store rooted at dir and loads
@@ -170,23 +178,73 @@ func (s *Store) loadManifest() error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
+	return s.ingestLocked(data)
+}
+
+// ingestLocked parses manifest bytes starting at offset s.loaded into
+// the index and advances the offset past every line it consumed. Only
+// newline-terminated lines are consumed: a torn final line — the
+// signature of a crashed or mid-write appender — is left unconsumed
+// (not an error), so a later refresh re-reads it once its writer
+// finishes. A complete line that fails to parse is tolerated only in
+// final position (crashed-writer debris another process appended
+// after); corruption anywhere else is a real error.
+func (s *Store) ingestLocked(data []byte) error {
+	base := s.loaded
+	end := bytes.LastIndexByte(data, '\n') + 1
+	complete := data[:end]
+	for off := 0; off < len(complete); {
+		nl := bytes.IndexByte(complete[off:], '\n')
+		line := complete[off : off+nl]
+		next := off + nl + 1
 		if len(bytes.TrimSpace(line)) == 0 {
+			off = next
+			s.loaded = base + int64(off)
 			continue
 		}
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			// A torn final line is the signature of a crashed appender;
-			// drop it. Corruption anywhere else is a real error.
-			if i == len(lines)-1 {
-				break
+			if next == len(complete) {
+				// Final complete line: torn-tail debris; skip past it so
+				// refreshes don't re-parse it forever.
+				s.loaded = base + int64(next)
+				return nil
 			}
-			return fmt.Errorf("store: manifest line %d: %w", i+1, err)
+			return fmt.Errorf("store: manifest offset %d: %w", base+int64(off), err)
 		}
 		s.addLocked(e)
+		off = next
+		s.loaded = base + int64(off)
 	}
 	return nil
+}
+
+// refreshLocked ingests manifest lines appended since the last load —
+// by concurrent recorder processes sharing the directory (the
+// distributed fabric's replicas all publish into one store) — so a
+// lookup that misses the in-memory index retries against the
+// up-to-date manifest before the caller re-simulates. When nothing was
+// appended this is one Stat. Refresh failures degrade to "no new
+// entries": the miss stands and the caller simulates, which is always
+// safe.
+func (s *Store) refreshLocked() {
+	fi, err := os.Stat(s.manifestPath())
+	if err != nil || fi.Size() <= s.loaded {
+		return
+	}
+	f, err := os.Open(s.manifestPath())
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(s.loaded, 0); err != nil {
+		return
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return
+	}
+	_ = s.ingestLocked(data)
 }
 
 // addLocked inserts an entry into the in-memory index; later manifest
@@ -216,10 +274,13 @@ type Summary struct {
 	Bytes     int64 `json:"bytes"`     // total uncompressed artifact bytes across entries
 }
 
-// Summarize computes the store's manifest Summary.
+// Summarize computes the store's manifest Summary, refreshing the
+// index from the manifest tail first so concurrent recorders' entries
+// are counted.
 func (s *Store) Summarize() Summary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.refreshLocked()
 	sum := Summary{Entries: len(s.index)}
 	names := make(map[string]struct{})
 	for _, e := range s.index {
@@ -232,18 +293,27 @@ func (s *Store) Summarize() Summary {
 }
 
 // Lookup returns the manifest entry for a key without touching the
-// artifact.
+// artifact. A miss against the in-memory index re-reads the manifest
+// tail first (refreshLocked), so entries recorded by concurrent
+// processes sharing the directory — fabric replicas publishing into
+// one store — are found without reopening the store.
 func (s *Store) Lookup(k Key) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.index[k]
+	if !ok {
+		s.refreshLocked()
+		e, ok = s.index[k]
+	}
 	return e, ok
 }
 
 // Entries returns every manifest entry sorted by (scenario, FPR, seed,
-// sim version) — a stable order for reports and baselines.
+// sim version) — a stable order for reports and baselines. Like
+// Lookup, it refreshes from the manifest tail first.
 func (s *Store) Entries() []Entry {
 	s.mu.Lock()
+	s.refreshLocked()
 	out := make([]Entry, 0, len(s.index))
 	for _, k := range s.order {
 		out = append(out, s.index[k])
@@ -289,6 +359,13 @@ func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, e
 	}
 	s.mu.Lock()
 	existing, exists := s.index[k]
+	if !exists {
+		// Another process sharing the directory may have archived this
+		// point already; the refresh turns that into an idempotent no-op
+		// instead of a duplicate manifest line.
+		s.refreshLocked()
+		existing, exists = s.index[k]
+	}
 	closed := s.manifest == nil
 	s.mu.Unlock()
 	if exists {

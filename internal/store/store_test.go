@@ -394,3 +394,90 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("summary volume %+v", sum)
 	}
 }
+
+// Two Store handles over one directory model fabric replicas (separate
+// processes) publishing into a shared store: a Lookup/Get miss on one
+// handle must pick up entries the other handle appended after both
+// were opened — the refresh-on-miss tail read — and a Put of an
+// already-published point must adopt it instead of duplicating the
+// manifest line.
+func TestCrossHandleManifestRefresh(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	k := key("shared", 30, 1)
+	res := syntheticResult("shared", 30, 1, 20, false)
+	if _, _, err := a.Put("shared", k, res); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := b.Lookup(k); !ok {
+		t.Fatal("Lookup on second handle missed an entry the first handle archived")
+	}
+	got, ok, err := b.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get on second handle = (%v, %v), want hit", ok, err)
+	}
+	if !reflect.DeepEqual(got.Trace.Rows, res.Trace.Rows) {
+		t.Error("cross-handle Get returned different trace rows")
+	}
+
+	// Re-putting via the second handle must adopt, not append.
+	if _, created, err := b.Put("shared", k, res); err != nil || created {
+		t.Fatalf("cross-handle Put = (created=%v, %v), want adopt of existing entry", created, err)
+	}
+	lines, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(splitNonEmptyLines(lines)); n != 1 {
+		t.Errorf("manifest has %d lines after cross-handle re-put, want 1", n)
+	}
+
+	// Summaries and Entries on a fresh third handle's sibling must also
+	// see later appends.
+	k2 := key("shared2", 5, 2)
+	if _, _, err := a.Put("shared2", k2, syntheticResult("shared2", 5, 2, 10, true)); err != nil {
+		t.Fatal(err)
+	}
+	if sum := b.Summarize(); sum.Entries != 2 {
+		t.Errorf("Summarize on second handle = %d entries, want 2", sum.Entries)
+	}
+	if got := len(b.Entries()); got != 2 {
+		t.Errorf("Entries on second handle = %d, want 2", got)
+	}
+}
+
+// splitNonEmptyLines counts manifest payload lines.
+func splitNonEmptyLines(data []byte) [][]byte {
+	var out [][]byte
+	for _, l := range bytesSplitLines(data) {
+		if len(l) > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// bytesSplitLines splits on '\n' without importing bytes in tests twice.
+func bytesSplitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range data {
+		if c == '\n' {
+			out = append(out, data[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, data[start:])
+	return out
+}

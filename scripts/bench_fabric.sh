@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Renders BENCH_fabric.json from the fabric scaling benchmark (see
+# internal/fabric/bench_test.go) and gates the distribution win: a cold
+# 1080-point Table-1 campaign through a 3-replica fabric must sustain
+# at least 2.0x the point throughput of the same campaign through a
+# single replica.
+#
+# Per-point service time is modeled (each bench replica's injected
+# runner sleeps 5 ms with Workers=1) so the measurement captures the
+# coordinator's scheduling quality rather than the host's core count —
+# three real replicas on a single-core CI runner would time-slice one
+# CPU and show no scaling at all, while a DriveSim-class worker really
+# does burn seconds per point. The replica identities are fixed labels,
+# which pins the ring's scenario partition (1/4/4 across the nine
+# Table-1 scenarios) and makes the ratio deterministic: ideal 3.0x,
+# partition-capped at 1080/480 = 2.25x.
+#
+# Every benchmark runs BENCH_COUNT times (default 3) and the JSON
+# carries both the maximum and the mean of each throughput series. The
+# gate uses the maximum: timing noise on a shared machine only ever
+# subtracts throughput, so the max is the reproducible estimate of
+# intrinsic capacity, while the mean moves with whatever else the host
+# was doing.
+#
+# Usage: scripts/bench_fabric.sh [output.json]
+#   BENCH_TIME=2x BENCH_COUNT=5 scripts/bench_fabric.sh   # more samples
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_fabric.json}"
+benchtime="${BENCH_TIME:-1x}"
+benchcount="${BENCH_COUNT:-3}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkFabricCampaign' \
+	-benchtime "$benchtime" -count "$benchcount" ./internal/fabric)
+echo "$raw"
+
+cpu=$(echo "$raw" | awk -F': ' '/^cpu:/ {print $2}')
+
+samples() { # samples <name> <unit>
+	echo "$raw" | awk -v want="$1" -v unit="$2" '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (name != want) next
+			for (i = 2; i < NF; i++) if ($(i + 1) == unit) print $i
+		}'
+}
+
+agg() { # agg <name> <unit> <max|mean>
+	v=$(samples "$1" "$2" | awk -v how="$3" '
+		NR == 1 || $1 > m { m = $1 }
+		{ s += $1; n++ }
+		END { if (n) printf "%.1f", (how == "mean") ? s / n : m }')
+	if [ -z "$v" ]; then
+		echo "bench_fabric: no $2 for $1" >&2
+		exit 1
+	fi
+	echo "$v"
+}
+
+r1=$(agg 'BenchmarkFabricCampaign/replicas=1' points/s max)
+r1_mean=$(agg 'BenchmarkFabricCampaign/replicas=1' points/s mean)
+r3=$(agg 'BenchmarkFabricCampaign/replicas=3' points/s max)
+r3_mean=$(agg 'BenchmarkFabricCampaign/replicas=3' points/s mean)
+
+ratio=$(awk -v a="$r3" -v b="$r1" 'BEGIN { printf "%.2f", a / b }')
+ratio_mean=$(awk -v a="$r3_mean" -v b="$r1_mean" 'BEGIN { printf "%.2f", a / b }')
+
+cat > "$out" <<JSON
+{
+  "generated_by": "scripts/bench_fabric.sh (benchtime $benchtime, count $benchcount; points_per_s is the max over repetitions, _mean is the arithmetic mean)",
+  "cpu": "$cpu",
+  "workload": "cold 1080-point Table-1 campaign (9 scenarios x 12 rates x 10 seeds) through the fabric coordinator; per-point service time modeled at 5 ms, Workers=1 per replica (see internal/fabric/bench_test.go)",
+  "replicas_1": { "points_per_s": $r1, "points_per_s_mean": $r1_mean },
+  "replicas_3": { "points_per_s": $r3, "points_per_s_mean": $r3_mean },
+  "ratios": {
+    "replicas_3_vs_1": $ratio,
+    "replicas_3_vs_1_mean": $ratio_mean
+  },
+  "notes": [
+    "Service time is modeled (sleeping injected runner) so the benchmark measures the coordinator's partition/merge/stream scheduling, not host core count; on a single-core CI runner three real replicas would time-slice one CPU and no deployment-relevant scaling would be observable.",
+    "Replica identities are fixed labels (http://worker-0..2), pinning the consistent-hash partition of the nine Table-1 scenarios at 1/4/4. The partition trades balance for per-scenario cache affinity, capping ideal 3.0x scaling at 1080/480 = 2.25x for this campaign; the gate is 2.0x.",
+    "The gate uses the max over repetitions: scheduler noise only ever subtracts throughput, so the max is the reproducible estimate of intrinsic capacity; the _mean fields expose the spread."
+  ]
+}
+JSON
+
+echo "bench_fabric: wrote $out"
+awk -v r="$ratio" 'BEGIN {
+	printf "bench_fabric: 3-replica campaign throughput = %.2fx single-replica (gate: >= 2.0)\n", r
+	exit (r >= 2.0) ? 0 : 1
+}' || { echo "bench_fabric: scaling gate FAILED" >&2; exit 1; }

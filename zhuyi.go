@@ -67,7 +67,8 @@
 // built-in — and the engine caches its runs under the registered name:
 //
 //	var points []zhuyi.CampaignPoint
-//	for _, sp := range zhuyi.GenerateScenarios(zhuyi.GenOptions{Seed: 1}, 50) {
+//	specs, err := zhuyi.GenerateScenarios(zhuyi.GenOptions{Seed: 1}, 50)
+//	for _, sp := range specs {
 //		if err := zhuyi.RegisterScenario(sp); err != nil { ... }
 //		for seed := int64(1); seed <= 3; seed++ {
 //			points = append(points, zhuyi.CampaignPoint{Scenario: sp.Name, FPR: 10, Seed: seed})
@@ -207,11 +208,14 @@ type (
 func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
 
 // GenerateScenarios deterministically samples n scenario specs from the
-// generator options' seed and families. The specs are valid and
-// uniquely named; register them with RegisterScenario to run them by
-// name.
-func GenerateScenarios(opt GenOptions, n int) []ScenarioSpec {
-	return scenario.NewGenerator(opt).Generate(n)
+// generator options' seed and families, erroring on a family name
+// outside ScenarioFamilies. The specs are valid and uniquely named;
+// register them with RegisterScenario to run them by name.
+func GenerateScenarios(opt GenOptions, n int) ([]ScenarioSpec, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return scenario.NewGenerator(opt).Generate(n), nil
 }
 
 // RegisterScenario adds a spec to the process-wide scenario registry,

@@ -114,9 +114,17 @@ func TestCampaignFacade(t *testing.T) {
 }
 
 func TestGeneratedScenarioCampaignFacade(t *testing.T) {
-	specs := GenerateScenarios(GenOptions{Seed: 123, Prefix: "facade-test"}, 3)
+	specs, err := GenerateScenarios(GenOptions{Seed: 123, Prefix: "facade-test"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(specs) != 3 {
 		t.Fatalf("generated %d specs", len(specs))
+	}
+	// The generator-family bugfix: a family outside ScenarioFamilies is
+	// an error, not a silently mislabeled cut-in corpus.
+	if _, err := GenerateScenarios(GenOptions{Seed: 1, Families: []ScenarioFamily{"bogus"}}, 1); err == nil {
+		t.Error("GenerateScenarios accepted an unknown family")
 	}
 	var points []CampaignPoint
 	for _, sp := range specs {
