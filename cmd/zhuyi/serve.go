@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/server"
@@ -58,9 +59,15 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer closeStore()
+	// One admission gate shared by the engine's campaign workers and
+	// the server's rate path: workers yield between jobs while a rate
+	// request is in flight, so batch traffic cannot starve the
+	// latency-sensitive endpoint.
+	gate := admission.NewGate(0)
+	opts.Admission = gate
 	eng := engine.New(opts)
 	defer eng.Close()
-	srv := server.New(server.Options{Engine: eng})
+	srv := server.New(server.Options{Engine: eng, Admission: gate})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

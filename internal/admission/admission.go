@@ -1,0 +1,92 @@
+// Package admission implements the priority lane that keeps the
+// latency-sensitive /v1/rate path responsive while batch campaign
+// traffic saturates the engine's workers.
+//
+// The model is deliberately asymmetric. Rate requests never queue:
+// they are pure compute on the request goroutine, so the only way a
+// campaign can starve them is by keeping every core busy with
+// back-to-back simulation jobs. A Gate closes that gap: the rate
+// handler brackets its work with Enter/Leave (two atomic adds), and
+// engine workers call Yield between jobs, briefly parking while any
+// rate request is in flight. The park is bounded by MaxWait, so a
+// sustained flood of rate traffic throttles campaigns instead of
+// deadlocking them — campaigns retain liveness, rate requests get the
+// cores first.
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxWait bounds how long one Yield call may park a campaign
+// worker. With continuous rate traffic a worker still starts at least
+// one job per MaxWait, preserving campaign liveness.
+const DefaultMaxWait = 100 * time.Millisecond
+
+// pollInterval is how often a yielding worker re-checks the gate.
+// Short enough that the worker resumes almost immediately after the
+// last rate request leaves, long enough to stay off the scheduler's
+// back.
+const pollInterval = 100 * time.Microsecond
+
+// Gate is a priority-admission gate shared between the serving tier
+// (Enter/Leave around rate requests) and the engine's campaign workers
+// (Yield between jobs). The zero value is ready to use with
+// DefaultMaxWait. Gates must not be copied after first use.
+type Gate struct {
+	active atomic.Int64
+	yields atomic.Uint64
+	waitNS atomic.Uint64
+
+	// MaxWait bounds a single Yield. Zero means DefaultMaxWait.
+	MaxWait time.Duration
+}
+
+// NewGate returns a gate with the given per-yield bound; maxWait <= 0
+// selects DefaultMaxWait.
+func NewGate(maxWait time.Duration) *Gate {
+	return &Gate{MaxWait: maxWait}
+}
+
+// Enter marks one priority request in flight. It never blocks and
+// never allocates.
+func (g *Gate) Enter() { g.active.Add(1) }
+
+// Leave marks one priority request complete.
+func (g *Gate) Leave() { g.active.Add(-1) }
+
+// Active reports the number of priority requests currently in flight.
+func (g *Gate) Active() int64 { return g.active.Load() }
+
+// Yield parks the caller while priority traffic is in flight, for at
+// most MaxWait. Campaign workers call it between jobs; it returns
+// immediately in the common (no rate traffic) case with a single
+// atomic load.
+func (g *Gate) Yield() {
+	if g == nil || g.active.Load() == 0 {
+		return
+	}
+	max := g.MaxWait
+	if max <= 0 {
+		max = DefaultMaxWait
+	}
+	start := time.Now()
+	for g.active.Load() > 0 {
+		if time.Since(start) >= max {
+			break
+		}
+		time.Sleep(pollInterval)
+	}
+	g.yields.Add(1)
+	g.waitNS.Add(uint64(time.Since(start)))
+}
+
+// Stats reports how many Yield calls actually parked and their total
+// parked time. Surfaced via /v1/stats for observability.
+func (g *Gate) Stats() (yields uint64, waited time.Duration) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.yields.Load(), time.Duration(g.waitNS.Load())
+}

@@ -1,0 +1,94 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestYieldNoTrafficIsImmediate(t *testing.T) {
+	g := NewGate(0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		g.Yield()
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("1000 idle yields took %v; should be near-free", d)
+	}
+	if y, _ := g.Stats(); y != 0 {
+		t.Fatalf("idle yields should not count as parked, got %d", y)
+	}
+}
+
+func TestYieldParksWhileActive(t *testing.T) {
+	g := NewGate(time.Second)
+	g.Enter()
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		g.Yield()
+		done <- time.Since(start)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	g.Leave()
+	d := <-done
+	if d < 10*time.Millisecond {
+		t.Fatalf("yield returned after %v; should have parked until Leave", d)
+	}
+	if d > 900*time.Millisecond {
+		t.Fatalf("yield parked %v; should have resumed promptly after Leave", d)
+	}
+	if y, w := g.Stats(); y != 1 || w < 10*time.Millisecond {
+		t.Fatalf("stats = (%d, %v), want one parked yield", y, w)
+	}
+}
+
+func TestYieldBoundedByMaxWait(t *testing.T) {
+	g := NewGate(30 * time.Millisecond)
+	g.Enter() // never leaves: sustained priority traffic
+	start := time.Now()
+	g.Yield()
+	d := time.Since(start)
+	if d < 25*time.Millisecond {
+		t.Fatalf("yield returned after %v; should have waited near MaxWait", d)
+	}
+	if d > 500*time.Millisecond {
+		t.Fatalf("yield parked %v; MaxWait bound not enforced", d)
+	}
+}
+
+func TestNilGateYieldIsNoop(t *testing.T) {
+	var g *Gate
+	g.Yield() // must not panic
+	if y, w := g.Stats(); y != 0 || w != 0 {
+		t.Fatal("nil gate stats should be zero")
+	}
+}
+
+func TestConcurrentEnterLeave(t *testing.T) {
+	g := NewGate(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Enter()
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if a := g.Active(); a != 0 {
+		t.Fatalf("active = %d after balanced enter/leave", a)
+	}
+}
+
+func BenchmarkEnterLeave(b *testing.B) {
+	g := NewGate(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Enter()
+		g.Leave()
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Aggregation selects how per-trajectory latencies collapse into one
@@ -38,6 +39,12 @@ type AggregateOptions struct {
 // infeasible. Probabilities are taken from the trajectories' weights and
 // renormalized.
 func Aggregate(results []LatencyResult, probs []float64, opt AggregateOptions) LatencyResult {
+	return aggregateScratch(results, probs, opt, nil)
+}
+
+// aggregateScratch is Aggregate with optional reusable sort storage
+// for the percentile mode; a nil scratch allocates as before.
+func aggregateScratch(results []LatencyResult, probs []float64, opt AggregateOptions, scratch *[]aggEntry) LatencyResult {
 	if len(results) == 0 {
 		return LatencyResult{}
 	}
@@ -79,7 +86,7 @@ func Aggregate(results []LatencyResult, probs []float64, opt AggregateOptions) L
 		}
 		out.Latency = sum
 	case AggPercentile:
-		out.Latency = percentileLatency(results, probs, total, opt.Percentile)
+		out.Latency = percentileLatency(results, probs, total, opt.Percentile, scratch)
 	default: // AggPessimistic
 		min := math.Inf(1)
 		for _, r := range results {
@@ -111,21 +118,32 @@ func latencyOrZero(r LatencyResult) float64 {
 	return r.Latency
 }
 
+// aggEntry is one (latency, weight) member of the percentile sort.
+type aggEntry struct {
+	l float64
+	w float64
+}
+
 // percentileLatency returns the latency at the pct-th percentile of the
 // FPR-requirement distribution: sort by ascending latency (descending
 // requirement) and walk the cumulative probability until 100−pct has
 // been discarded. pct = 100 reproduces the pessimistic minimum latency;
-// pct = 0 the maximum.
-func percentileLatency(results []LatencyResult, probs []float64, total, pct float64) float64 {
-	type entry struct {
-		l float64
-		w float64
+// pct = 0 the maximum. scratch, when non-nil, supplies reusable sort
+// storage so the hot serving path aggregates without allocating.
+func percentileLatency(results []LatencyResult, probs []float64, total, pct float64, scratch *[]aggEntry) float64 {
+	var entries []aggEntry
+	if scratch != nil {
+		entries = (*scratch)[:0]
+	} else {
+		entries = make([]aggEntry, 0, len(results))
 	}
-	entries := make([]entry, len(results))
 	for i, r := range results {
-		entries[i] = entry{l: latencyOrZero(r), w: weightOf(probs, i) / total}
+		entries = append(entries, aggEntry{l: latencyOrZero(r), w: weightOf(probs, i) / total})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].l < entries[j].l })
+	if scratch != nil {
+		*scratch = entries
+	}
+	slices.SortFunc(entries, func(a, b aggEntry) int { return cmp.Compare(a.l, b.l) })
 	discard := (100 - pct) / 100
 	acc := 0.0
 	for _, e := range entries {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/predict"
 	"repro/internal/sensor"
@@ -84,73 +83,14 @@ func (e *Estimator) cameras() []string {
 // online); trajs supplies the trajectory set T per actor ID; l0 is the
 // current per-camera processing latency.
 func (e *Estimator) EstimateSnapshot(now float64, ego world.Agent, actors []world.Agent, trajs map[string][]world.Trajectory, l0 float64) Estimate {
-	est := Estimate{
-		Time:          now,
-		CameraLatency: make(map[string]float64, len(e.cameras())),
-		CameraFPR:     make(map[string]float64, len(e.cameras())),
-		CameraThreat:  make(map[string]bool, len(e.cameras())),
-	}
-	egoState := EgoFromAgent(ego)
-
-	threats := make(map[string]bool, len(actors))
-	latencies := make(map[string]float64, len(actors))
+	var sc EstimateScratch
 	for _, a := range actors {
-		set := trajs[a.ID]
-		results := make([]LatencyResult, 0, len(set))
-		probs := make([]float64, 0, len(set))
-		for _, tr := range set {
-			results = append(results, TolerableLatency(egoState, tr, [2]float64{a.Length, a.Width}, l0, e.Params))
-			probs = append(probs, tr.Prob)
-		}
-		agg := Aggregate(results, probs, e.Agg)
-		ae := ActorEstimate{
-			ActorID:   a.ID,
-			Latency:   agg.Latency,
-			Feasible:  agg.Feasible,
-			NoThreat:  agg.NoThreat,
-			Evals:     agg.Evals,
-			TrajCount: len(set),
-		}
-		if !agg.Feasible {
-			ae.Latency = 0
-		}
-		est.Actors = append(est.Actors, ae)
-		est.Evals += agg.Evals
-		threats[a.ID] = !agg.NoThreat
-		latencies[a.ID] = ae.Latency
-		if !agg.Feasible {
-			latencies[a.ID] = e.Params.LMin // demand the maximum representable rate
-		}
+		start := len(sc.trajs)
+		sc.trajs = append(sc.trajs, trajs[a.ID]...)
+		sc.actorTraj = append(sc.actorTraj, [2]int{start, len(sc.trajs)})
 	}
-	sort.Slice(est.Actors, func(i, j int) bool { return est.Actors[i].ActorID < est.Actors[j].ActorID })
-
-	// Eq. 5: per camera, the binding actor is the one with the smallest
-	// tolerable latency among those in the camera's FOV. One scratch
-	// sweep per camera over the pre-filtered cone replaces the old
-	// all-cameras VisibleSet map.
-	var seen []string
-	for _, cam := range e.cameras() {
-		l := e.Params.LMax // empty FOV: idle floor (FPR 1)
-		threat := false
-		seen = seen[:0]
-		if c, ok := e.Rig.Camera(cam); ok {
-			seen = c.AppendSeenIDs(seen, ego.Pose, actors)
-		}
-		for _, id := range seen {
-			if al, ok := latencies[id]; ok && al < l {
-				l = al
-			}
-			if threats[id] {
-				threat = true
-			}
-		}
-		if l < e.Params.LMin {
-			l = e.Params.LMin
-		}
-		est.CameraLatency[cam] = l
-		est.CameraFPR[cam] = 1 / l
-		est.CameraThreat[cam] = threat
-	}
+	var est Estimate
+	e.estimateInto(&est, &sc, now, ego, actors, l0)
 	return est
 }
 
@@ -169,11 +109,10 @@ func GroundTruthTrajs(futures map[string]world.Trajectory) map[string][]world.Tr
 // perceived world model and futures come from the trajectory predictor
 // (§3.2, Figure 3).
 func (e *Estimator) EstimateOnline(now float64, ego world.Agent, wm []world.Agent, pred predict.Predictor, l0 float64) Estimate {
-	trajs := make(map[string][]world.Trajectory, len(wm))
-	for _, a := range wm {
-		trajs[a.ID] = predict.ForAgent(pred, a, now, e.Params.Horizon, 0.1)
-	}
-	return e.EstimateSnapshot(now, ego, wm, trajs, l0)
+	var sc EstimateScratch
+	var est Estimate
+	e.EstimateOnlineInto(&est, &sc, now, ego, wm, pred, l0)
+	return est
 }
 
 // ActorImportance ranks actors by the inverse of their tolerable

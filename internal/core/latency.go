@@ -52,6 +52,28 @@ type actorSample struct {
 	lng   float64 // actor length
 }
 
+// trajSampler evaluates a trajectory at candidate resolution times. A
+// plain struct (not a closure) so the latency search keeps it on the
+// stack — the serving tier's pooled /v1/rate path requires the whole
+// search to run without heap allocation.
+type trajSampler struct {
+	traj  *world.Trajectory
+	ego   *EgoState
+	t0    float64
+	width float64
+	lng   float64
+}
+
+func (s *trajSampler) sample(tn float64) actorSample {
+	pt := s.traj.At(s.t0 + tn)
+	local := s.ego.Pose.ToLocal(pt.Pos)
+	vAlong := geom.FromAngle(pt.Heading).Scale(pt.Speed).Dot(s.ego.Pose.Forward())
+	if vAlong < 0 {
+		vAlong = 0
+	}
+	return actorSample{long: local.X, lat: local.Y, speed: vAlong, width: s.width, lng: s.lng}
+}
+
 // TolerableLatency runs the paper's §2.1 search: the largest candidate
 // latency l (descending from LMax by DeltaL) for which some resolution
 // time t_n ≥ t_r = l + α exists where both Eq. 1 (distance) and Eq. 2
@@ -69,19 +91,11 @@ func TolerableLatency(ego EgoState, traj world.Trajectory, actorDims [2]float64,
 	t0 := traj.Start()
 	length, width := actorDims[0], actorDims[1]
 
-	sample := func(tn float64) actorSample {
-		pt := traj.At(t0 + tn)
-		local := ego.Pose.ToLocal(pt.Pos)
-		vAlong := geom.FromAngle(pt.Heading).Scale(pt.Speed).Dot(ego.Pose.Forward())
-		if vAlong < 0 {
-			vAlong = 0
-		}
-		return actorSample{long: local.X, lat: local.Y, speed: vAlong, width: width, lng: length}
-	}
+	smp := trajSampler{traj: &traj, ego: &ego, t0: t0, width: width, lng: length}
 
 	// Threat screening: does the trajectory ever occupy the ego's
 	// forward corridor within the horizon?
-	conflictStart, threat := findConflict(sample, ego, p)
+	conflictStart, threat := findConflict(&smp, ego, p)
 	if !threat {
 		return LatencyResult{Latency: p.LMax, Feasible: true, NoThreat: true}
 	}
@@ -89,7 +103,7 @@ func TolerableLatency(ego EgoState, traj world.Trajectory, actorDims [2]float64,
 	ab := p.brakeDecel(ego.Accel)
 	for l := p.LMax; l >= p.LMin-1e-9; l -= p.DeltaL {
 		tr := l + p.alpha(l, l0)
-		if tn, evals, ok := resolveTN(ego, sample, tr, conflictStart, ab, p); ok {
+		if tn, evals, ok := resolveTN(ego, &smp, tr, conflictStart, ab, p); ok {
 			res.Evals += evals
 			res.Latency = l
 			res.Feasible = true
@@ -110,14 +124,14 @@ func TolerableLatency(ego EgoState, traj world.Trajectory, actorDims [2]float64,
 // cannot prevent rear-end collisions, and responsibility for them rests
 // with the rear actor (the RSS convention); the paper's scenarios with
 // rear actors accordingly report the idle estimate of 1 FPR.
-func findConflict(sample func(float64) actorSample, ego EgoState, p Params) (float64, bool) {
-	s0 := sample(0)
+func findConflict(smp *trajSampler, ego EgoState, p Params) (float64, bool) {
+	s0 := smp.sample(0)
 	if s0.long < -(ego.Length+s0.lng)/2 {
 		return 0, false
 	}
 	const scanDT = 0.1
 	for tn := 0.0; tn <= p.Horizon; tn += scanDT {
-		s := sample(tn)
+		s := smp.sample(tn)
 		if math.Abs(s.lat) > (ego.Width+s.width)/2+p.LateralMargin {
 			continue
 		}
@@ -141,7 +155,7 @@ func findConflict(sample func(float64) actorSample, ego EgoState, p Params) (flo
 // rejected rather than re-checked at later, looser times — a receding
 // actor would otherwise reopen the distance budget after a transient
 // collision and produce a false pass.
-func resolveTN(ego EgoState, sample func(float64) actorSample, tr, conflictStart, ab float64, p Params) (float64, int, bool) {
+func resolveTN(ego EgoState, smp *trajSampler, tr, conflictStart, ab float64, p Params) (float64, int, bool) {
 	tn := math.Max(tr, conflictStart)
 	iters := p.M
 	if p.NaiveSearch {
@@ -155,7 +169,7 @@ func resolveTN(ego EgoState, sample func(float64) actorSample, tr, conflictStart
 			return 0, evals, false
 		}
 		evals++
-		ok, gapD, gapV, vEN := checkConstraints(ego, sample(tn), tr, tn, ab, p)
+		ok, gapD, gapV, vEN := checkConstraints(ego, smp.sample(tn), tr, tn, ab, p)
 		if ok {
 			return tn, evals, true
 		}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"slices"
+	"strings"
+
+	"repro/internal/predict"
+	"repro/internal/world"
+)
+
+// EstimateScratch holds every piece of transient storage one Zhuyi
+// evaluation needs: predicted trajectories and their sample points,
+// per-trajectory latency results, per-actor latencies/threat flags,
+// the actor index, and the camera-sweep and percentile-sort scratch.
+// Reusing one scratch across calls makes EstimateOnlineInto free of
+// heap allocation once steady-state capacity is reached — the
+// serving tier keeps one per pooled request context. The zero value is
+// ready to use. A scratch must not be used concurrently.
+type EstimateScratch struct {
+	trajs     []world.Trajectory
+	points    []world.TrajectoryPoint
+	actorTraj [][2]int // per-actor [start, end) range into trajs
+	results   []LatencyResult
+	probs     []float64
+	latencies []float64 // per actor, indexed like the wm slice
+	threats   []bool
+	index     map[string]int // actor ID -> wm index (last occurrence wins)
+	seen      []string
+	agg       []aggEntry
+}
+
+// EstimateOnlineInto is EstimateOnline writing into dst using sc for
+// every intermediate: predictions come from predict.AppendForAgent and
+// dst's maps and slices are cleared and refilled in place. dst must
+// not alias live data the caller still needs; its previous contents
+// are overwritten. The result is numerically identical to
+// EstimateOnline on the same inputs.
+func (e *Estimator) EstimateOnlineInto(dst *Estimate, sc *EstimateScratch, now float64, ego world.Agent, wm []world.Agent, pred predict.Predictor, l0 float64) {
+	sc.trajs = sc.trajs[:0]
+	sc.points = sc.points[:0]
+	sc.actorTraj = sc.actorTraj[:0]
+	for _, a := range wm {
+		start := len(sc.trajs)
+		sc.trajs, sc.points = predict.AppendForAgent(pred, sc.trajs, sc.points, a, now, e.Params.Horizon, 0.1)
+		sc.actorTraj = append(sc.actorTraj, [2]int{start, len(sc.trajs)})
+	}
+	e.estimateInto(dst, sc, now, ego, wm, l0)
+}
+
+// estimateInto is the single implementation behind EstimateSnapshot
+// and EstimateOnlineInto: the per-actor latency aggregation and the
+// Eq. 5 camera sweep, with sc.trajs/sc.actorTraj already populated.
+func (e *Estimator) estimateInto(dst *Estimate, sc *EstimateScratch, now float64, ego world.Agent, actors []world.Agent, l0 float64) {
+	cams := e.cameras()
+	dst.Time = now
+	dst.Evals = 0
+	dst.Actors = dst.Actors[:0]
+	if dst.CameraLatency == nil {
+		dst.CameraLatency = make(map[string]float64, len(cams))
+		dst.CameraFPR = make(map[string]float64, len(cams))
+		dst.CameraThreat = make(map[string]bool, len(cams))
+	} else {
+		clear(dst.CameraLatency)
+		clear(dst.CameraFPR)
+		clear(dst.CameraThreat)
+	}
+	egoState := EgoFromAgent(ego)
+
+	if sc.index == nil {
+		sc.index = make(map[string]int, len(actors))
+	} else {
+		clear(sc.index)
+	}
+	sc.latencies = sc.latencies[:0]
+	sc.threats = sc.threats[:0]
+	for ai, a := range actors {
+		set := sc.trajs[sc.actorTraj[ai][0]:sc.actorTraj[ai][1]]
+		sc.results = sc.results[:0]
+		sc.probs = sc.probs[:0]
+		for _, tr := range set {
+			sc.results = append(sc.results, TolerableLatency(egoState, tr, [2]float64{a.Length, a.Width}, l0, e.Params))
+			sc.probs = append(sc.probs, tr.Prob)
+		}
+		agg := aggregateScratch(sc.results, sc.probs, e.Agg, &sc.agg)
+		ae := ActorEstimate{
+			ActorID:   a.ID,
+			Latency:   agg.Latency,
+			Feasible:  agg.Feasible,
+			NoThreat:  agg.NoThreat,
+			Evals:     agg.Evals,
+			TrajCount: len(set),
+		}
+		if !agg.Feasible {
+			ae.Latency = 0
+		}
+		dst.Actors = append(dst.Actors, ae)
+		dst.Evals += agg.Evals
+		lat := ae.Latency
+		if !agg.Feasible {
+			lat = e.Params.LMin // demand the maximum representable rate
+		}
+		sc.latencies = append(sc.latencies, lat)
+		sc.threats = append(sc.threats, !agg.NoThreat)
+		sc.index[a.ID] = ai
+	}
+	slices.SortFunc(dst.Actors, func(a, b ActorEstimate) int { return strings.Compare(a.ActorID, b.ActorID) })
+
+	// Eq. 5: per camera, the binding actor is the one with the smallest
+	// tolerable latency among those in the camera's FOV. One scratch
+	// sweep per camera over the pre-filtered cone replaces the old
+	// all-cameras VisibleSet map.
+	for _, cam := range cams {
+		l := e.Params.LMax // empty FOV: idle floor (FPR 1)
+		threat := false
+		sc.seen = sc.seen[:0]
+		if c, ok := e.Rig.Camera(cam); ok {
+			sc.seen = c.AppendSeenIDs(sc.seen, ego.Pose, actors)
+		}
+		for _, id := range sc.seen {
+			if ai, ok := sc.index[id]; ok {
+				if al := sc.latencies[ai]; al < l {
+					l = al
+				}
+				if sc.threats[ai] {
+					threat = true
+				}
+			}
+		}
+		if l < e.Params.LMin {
+			l = e.Params.LMin
+		}
+		dst.CameraLatency[cam] = l
+		dst.CameraFPR[cam] = 1 / l
+		dst.CameraThreat[cam] = threat
+	}
+}

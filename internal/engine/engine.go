@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -108,6 +109,13 @@ type Options struct {
 	// policy, not a per-job knob, so cache entries are level-consistent
 	// per key and a hit can never return less than the caller expects.
 	Record trace.Level
+	// Admission, when set, is the serving tier's priority gate: workers
+	// call Yield on it between jobs, briefly parking while a
+	// latency-sensitive request (POST /v1/rate) is in flight so batch
+	// campaigns cannot starve the serving path of cores. The park is
+	// bounded (admission.Gate.MaxWait), so campaigns always retain
+	// liveness. nil disables yielding.
+	Admission *admission.Gate
 }
 
 func (o Options) withDefaults() (Options, bool) {
@@ -381,11 +389,13 @@ func (e *Engine) worker() {
 		e.queue = e.queue[1:]
 		if t.group != nil {
 			e.mu.Unlock()
+			e.opts.Admission.Yield()
 			e.executeLockstep(t.group)
 			continue
 		}
 		group := e.claimLockstepLocked(t)
 		e.mu.Unlock()
+		e.opts.Admission.Yield()
 		if len(group) > 0 {
 			e.executeLockstep(append([]*task{t}, group...))
 		} else {

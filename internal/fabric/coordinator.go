@@ -111,7 +111,8 @@ type Coordinator struct {
 	eng     *engine.Engine // manifest-only: Peek answers, runs return errCold
 	st      *store.Store
 	reg     *scenario.Registry
-	inner   http.Handler // a server.Server over eng, for non-fabric routes
+	inner   http.Handler       // a server.Server over eng, for non-fabric routes
+	lat     *server.LatencySet // shared with the inner server; /v1/rate lands here
 	maxPts  int
 	stall   time.Duration
 	retries int
@@ -177,7 +178,12 @@ func New(opts Options) (*Coordinator, error) {
 		st.healthy.Store(true) // optimistic until an attempt says otherwise
 		c.replicas[rep] = st
 	}
-	c.inner = server.New(server.Options{Engine: c.eng, Registry: reg, MaxCampaignPoints: c.maxPts}).Handler()
+	// The latency set is shared with the inner server: requests the
+	// coordinator answers locally — /v1/rate above all — record into
+	// the same histograms its own /v1/stats reports, proving the rate
+	// path never depends on replica health.
+	c.lat = server.NewLatencySet()
+	c.inner = server.New(server.Options{Engine: c.eng, Registry: reg, MaxCampaignPoints: c.maxPts, Latency: c.lat}).Handler()
 	return c, nil
 }
 
@@ -193,6 +199,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range server.Routes() {
 		var h http.HandlerFunc
+		fabricRoute := true
 		switch rt.Pattern {
 		case "/v1/campaign":
 			h = c.handleCampaign
@@ -202,6 +209,13 @@ func (c *Coordinator) Handler() http.Handler {
 			h = c.handleStats
 		default:
 			h = c.inner.ServeHTTP
+			fabricRoute = false
+		}
+		if fabricRoute {
+			// Locally-served routes already record through the inner
+			// server's wrappers (the shared latency set); only the
+			// fabric-aware handlers need their own timing here.
+			h = c.lat.Timed(rt.Method+" "+rt.Pattern, h)
 		}
 		mux.HandleFunc(rt.Method+" "+rt.Pattern, h)
 	}
@@ -554,9 +568,11 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Campaigns:      c.campaigns.Load(),
 			CampaignPoints: c.points.Load(),
 		},
+		Latency: c.lat.Snapshot(),
 		Fabric: &server.FabricStats{
-			Retried: c.retried.Load(),
-			Proxied: c.proxied.Load(),
+			Retried:   c.retried.Load(),
+			Proxied:   c.proxied.Load(),
+			RateLocal: c.lat.RateLatency(),
 		},
 	}
 	for _, rep := range c.ring.Replicas() {

@@ -27,6 +27,16 @@ type Predictor interface {
 	Predict(a world.Agent, now float64) []world.Trajectory
 }
 
+// AppendPredictor is implemented by predictors that can emit their
+// trajectory set into caller-owned storage: trajectories are appended
+// to dst and their Points are carved out of buf, so a caller that
+// reuses both slices across calls predicts without allocating once
+// steady-state capacity is reached. The serving tier's pooled /v1/rate
+// path depends on this.
+type AppendPredictor interface {
+	AppendPrediction(dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now float64) ([]world.Trajectory, []world.TrajectoryPoint)
+}
+
 // sampleCount returns the number of samples for a horizon and step.
 func sampleCount(horizon, dt float64) int {
 	if dt <= 0 {
@@ -75,20 +85,34 @@ func (p ConstantAccel) Predict(a world.Agent, now float64) []world.Trajectory {
 	return []world.Trajectory{accelProfile(a, now, p.Horizon, p.Dt, a.Accel, 1)}
 }
 
+// AppendPrediction implements AppendPredictor.
+func (p ConstantAccel) AppendPrediction(dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now float64) ([]world.Trajectory, []world.TrajectoryPoint) {
+	return appendAccelProfile(dst, buf, a, now, p.Horizon, p.Dt, a.Accel, 1)
+}
+
 // accelProfile integrates a straight-line profile with constant
 // longitudinal acceleration, preserving any current lateral velocity.
 func accelProfile(a world.Agent, now, horizon, dt, accel, prob float64) world.Trajectory {
+	dst, _ := appendAccelProfile(nil, nil, a, now, horizon, dt, accel, prob)
+	return dst[0]
+}
+
+// appendAccelProfile is accelProfile into caller-owned storage: the
+// trajectory's Points are carved out of buf (capacity-limited so later
+// carves cannot alias them) and the trajectory is appended to dst.
+func appendAccelProfile(dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now, horizon, dt, accel, prob float64) ([]world.Trajectory, []world.TrajectoryPoint) {
 	n := sampleCount(horizon, dt)
-	pts := make([]world.TrajectoryPoint, n)
+	start := len(buf)
 	dir := geom.FromAngle(a.Pose.Heading)
 	lat := dir.Perp().Scale(a.LatVel)
 	pos := a.Pose.Pos
 	speed := a.Speed
 	for i := 0; i < n; i++ {
-		pts[i] = world.TrajectoryPoint{T: now + float64(i)*dt, Pos: pos, Heading: a.Pose.Heading, Speed: speed, Accel: accel}
+		pt := world.TrajectoryPoint{T: now + float64(i)*dt, Pos: pos, Heading: a.Pose.Heading, Speed: speed, Accel: accel}
 		if speed <= 0 && accel <= 0 {
-			pts[i].Accel = 0
+			pt.Accel = 0
 		}
+		buf = append(buf, pt)
 		// Integrate one step.
 		v2 := speed + accel*dt
 		if v2 < 0 {
@@ -97,8 +121,8 @@ func accelProfile(a world.Agent, now, horizon, dt, accel, prob float64) world.Tr
 		pos = pos.Add(dir.Scale((speed + v2) / 2 * dt)).Add(lat.Scale(dt))
 		speed = v2
 	}
-	tr := world.Trajectory{ActorID: a.ID, Prob: prob, Points: pts}
-	return tr
+	pts := buf[start:len(buf):len(buf)]
+	return append(dst, world.Trajectory{ActorID: a.ID, Prob: prob, Points: pts}), buf
 }
 
 // LaneFollow predicts motion along the road: the actor keeps its speed
@@ -144,41 +168,56 @@ type MultiHypothesis struct {
 	Dt      float64
 }
 
-// Predict implements Predictor.
-func (p MultiHypothesis) Predict(a world.Agent, now float64) []world.Trajectory {
-	type hypo struct {
-		accel float64
-		prob  float64
-	}
-	var hs []hypo
+type hypo struct {
+	accel float64
+	prob  float64
+}
+
+// hypotheses returns the fixed maneuver table for the actor's current
+// longitudinal regime. A value array, so callers stay allocation-free.
+func (p MultiHypothesis) hypotheses(a world.Agent) [4]hypo {
 	switch {
 	case a.Accel < -0.5: // already braking: likely keeps or deepens braking
-		hs = []hypo{
+		return [4]hypo{
 			{a.Accel, 0.45},
 			{a.Accel - 2, 0.25},
 			{0, 0.20},
 			{1.0, 0.10},
 		}
 	case a.Accel > 0.5: // accelerating
-		hs = []hypo{
+		return [4]hypo{
 			{a.Accel, 0.45},
 			{0, 0.35},
 			{-2.5, 0.15},
 			{-6, 0.05},
 		}
 	default: // cruising
-		hs = []hypo{
+		return [4]hypo{
 			{0, 0.55},
 			{-2.5, 0.20},
 			{1.0, 0.15},
 			{-6, 0.10},
 		}
 	}
+}
+
+// Predict implements Predictor.
+func (p MultiHypothesis) Predict(a world.Agent, now float64) []world.Trajectory {
+	hs := p.hypotheses(a)
 	out := make([]world.Trajectory, 0, len(hs))
 	for _, h := range hs {
 		out = append(out, accelProfile(a, now, p.Horizon, p.Dt, h.accel, h.prob))
 	}
 	return out
+}
+
+// AppendPrediction implements AppendPredictor.
+func (p MultiHypothesis) AppendPrediction(dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now float64) ([]world.Trajectory, []world.TrajectoryPoint) {
+	hs := p.hypotheses(a)
+	for _, h := range hs {
+		dst, buf = appendAccelProfile(dst, buf, a, now, p.Horizon, p.Dt, h.accel, h.prob)
+	}
+	return dst, buf
 }
 
 // Static returns a single stationary trajectory for static obstacles.
@@ -189,12 +228,19 @@ type Static struct {
 
 // Predict implements Predictor.
 func (p Static) Predict(a world.Agent, now float64) []world.Trajectory {
+	dst, _ := p.AppendPrediction(nil, nil, a, now)
+	return dst
+}
+
+// AppendPrediction implements AppendPredictor.
+func (p Static) AppendPrediction(dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now float64) ([]world.Trajectory, []world.TrajectoryPoint) {
 	n := sampleCount(p.Horizon, p.Dt)
-	pts := make([]world.TrajectoryPoint, n)
+	start := len(buf)
 	for i := 0; i < n; i++ {
-		pts[i] = world.TrajectoryPoint{T: now + float64(i)*p.Dt, Pos: a.Pose.Pos, Heading: a.Pose.Heading}
+		buf = append(buf, world.TrajectoryPoint{T: now + float64(i)*p.Dt, Pos: a.Pose.Pos, Heading: a.Pose.Heading})
 	}
-	return []world.Trajectory{{ActorID: a.ID, Prob: 1, Points: pts}}
+	pts := buf[start:len(buf):len(buf)]
+	return append(dst, world.Trajectory{ActorID: a.ID, Prob: 1, Points: pts}), buf
 }
 
 // ForAgent picks a sensible predictor output for the agent: Static for
@@ -204,4 +250,18 @@ func ForAgent(p Predictor, a world.Agent, now, horizon, dt float64) []world.Traj
 		return Static{Horizon: horizon, Dt: dt}.Predict(a, now)
 	}
 	return p.Predict(a, now)
+}
+
+// AppendForAgent is ForAgent into caller-owned storage. Predictors
+// that implement AppendPredictor emit without allocating (buf and dst
+// grow amortized); others fall back to Predict and copy, preserving
+// semantics at the old allocation cost.
+func AppendForAgent(p Predictor, dst []world.Trajectory, buf []world.TrajectoryPoint, a world.Agent, now, horizon, dt float64) ([]world.Trajectory, []world.TrajectoryPoint) {
+	if a.Static || a.Speed < 0.3 {
+		return Static{Horizon: horizon, Dt: dt}.AppendPrediction(dst, buf, a, now)
+	}
+	if ap, ok := p.(AppendPredictor); ok {
+		return ap.AppendPrediction(dst, buf, a, now)
+	}
+	return append(dst, p.Predict(a, now)...), buf
 }

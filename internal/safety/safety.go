@@ -19,7 +19,8 @@ package safety
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/predict"
@@ -87,7 +88,19 @@ type CheckResult struct {
 // estimate and escalates through the paper's three actions as the worst
 // shortfall grows.
 func Check(est core.Estimate, operating map[string]float64) CheckResult {
-	res := CheckResult{Time: est.Time, OK: true, Action: ActionNone}
+	var res CheckResult
+	CheckInto(&res, est, operating)
+	return res
+}
+
+// CheckInto is Check writing into dst, reusing dst.Alarms' capacity.
+// The pooled /v1/rate path evaluates posted operating rates without
+// allocating; dst's previous contents are overwritten.
+func CheckInto(dst *CheckResult, est core.Estimate, operating map[string]float64) {
+	dst.Time = est.Time
+	dst.OK = true
+	dst.Action = ActionNone
+	dst.Alarms = dst.Alarms[:0]
 	worst := 0.0
 	for cam, required := range est.CameraFPR {
 		op := operating[cam]
@@ -95,25 +108,24 @@ func Check(est core.Estimate, operating map[string]float64) CheckResult {
 			continue
 		}
 		alarm := Alarm{Time: est.Time, Camera: cam, Required: required, Operating: op}
-		res.Alarms = append(res.Alarms, alarm)
+		dst.Alarms = append(dst.Alarms, alarm)
 		if s := alarm.Severity(); s > worst {
 			worst = s
 		}
 	}
-	sort.Slice(res.Alarms, func(i, j int) bool { return res.Alarms[i].Camera < res.Alarms[j].Camera })
-	if len(res.Alarms) == 0 {
-		return res
+	slices.SortFunc(dst.Alarms, func(a, b Alarm) int { return strings.Compare(a.Camera, b.Camera) })
+	if len(dst.Alarms) == 0 {
+		return
 	}
-	res.OK = false
+	dst.OK = false
 	switch {
 	case worst >= 2: // operating at less than a third of the requirement
-		res.Action = ActionEmergencyBackup
+		dst.Action = ActionEmergencyBackup
 	case worst >= 0.5:
-		res.Action = ActionLimitedFunctionality
+		dst.Action = ActionLimitedFunctionality
 	default:
-		res.Action = ActionRaiseRate
+		dst.Action = ActionRaiseRate
 	}
-	return res
 }
 
 // ControllerConfig tunes the work-prioritizing rate controller.
@@ -146,6 +158,7 @@ type Controller struct {
 	lastTime  float64
 	lastRates map[string]float64
 	checks    []CheckResult
+	spare     map[string]float64 // recycled by RatesFromEstimateReuse
 }
 
 // NewController builds a controller over the estimator's cameras.
@@ -184,6 +197,39 @@ func (c *Controller) Rates(now float64, ego world.Agent, wm []world.Agent) map[s
 // be for this instant and this world model (ego and wm still feed the
 // occlusion guard).
 func (c *Controller) RatesFromEstimate(now float64, ego world.Agent, wm []world.Agent, est core.Estimate) map[string]float64 {
+	return c.ratesFromEstimate(make(map[string]float64, len(est.CameraFPR)), now, ego, wm, est)
+}
+
+// RatesFromEstimateReuse is RatesFromEstimate returning an
+// internally-owned map that stays valid only until the next call: the
+// controller double-buffers its rate maps, so steady-state calls do
+// not allocate. A controller used through this method must not also
+// hand out maps via the allocating RatesFromEstimate (callers could
+// observe them mutating). The pooled /v1/rate path owns its
+// controllers outright and encodes the result before returning.
+func (c *Controller) RatesFromEstimateReuse(now float64, ego world.Agent, wm []world.Agent, est core.Estimate) map[string]float64 {
+	desired := c.spare
+	if desired == nil {
+		desired = make(map[string]float64, len(est.CameraFPR))
+	}
+	clear(desired)
+	prev := c.lastRates
+	out := c.ratesFromEstimate(desired, now, ego, wm, est)
+	c.spare = prev
+	return out
+}
+
+// Reset returns the controller to its just-constructed state (no rate
+// history, no hysteresis baseline, empty check log) while keeping its
+// maps' and slices' capacity. Pooled serving contexts Reset between
+// requests so each request behaves like a fresh controller.
+func (c *Controller) Reset() {
+	clear(c.lastRates)
+	c.lastTime = 0
+	c.checks = c.checks[:0]
+}
+
+func (c *Controller) ratesFromEstimate(desired map[string]float64, now float64, ego world.Agent, wm []world.Agent, est core.Estimate) map[string]float64 {
 	l0 := 1 / c.Cfg.MaxFPR
 
 	if len(c.lastRates) > 0 {
@@ -194,7 +240,6 @@ func (c *Controller) RatesFromEstimate(now float64, ego world.Agent, wm []world.
 	if dt < 0 {
 		dt = 0
 	}
-	desired := make(map[string]float64, len(est.CameraFPR))
 	for cam, f := range est.CameraFPR {
 		var r float64
 		if !est.CameraThreat[cam] {

@@ -196,6 +196,34 @@ type FabricStats struct {
 	// Proxied counts cold MRF searches delegated to a replica because
 	// the shared manifest could not answer them.
 	Proxied int64 `json:"proxied"`
+	// RateLocal is the coordinator's own POST /v1/rate latency summary:
+	// rate requests are answered locally, never delegated, so this block
+	// stays live even when every replica is dead.
+	RateLocal *EndpointLatency `json:"rate_local,omitempty"`
+}
+
+// EndpointLatency is one route's served-latency summary on GET
+// /v1/stats: merged from the route's lock-free histogram shards, with
+// quantiles reported as the upper bound of their log bucket (at most
+// 12.5% above the true value). All durations are microseconds.
+type EndpointLatency struct {
+	Route  string  `json:"route"` // "METHOD /pattern", as in the route table
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// AdmissionStats reports the priority gate's activity: how many
+// campaign-worker yields actually parked for rate traffic and their
+// total parked time.
+type AdmissionStats struct {
+	RateInFlight int64   `json:"rate_in_flight"`
+	Yields       uint64  `json:"yields"`
+	WaitedMS     float64 `json:"waited_ms"`
 }
 
 // ServerStats are service-lifetime request counters.
@@ -213,6 +241,11 @@ type StatsResponse struct {
 	Engine  EngineStats    `json:"engine"`
 	Server  ServerStats    `json:"server"`
 	Store   *store.Summary `json:"store,omitempty"`
+	// Latency reports per-endpoint served-latency histograms (routes
+	// with at least one request, in route-table order).
+	Latency []EndpointLatency `json:"latency,omitempty"`
+	// Admission reports the rate-priority gate, when one is attached.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Fabric is set only by a coordinator: per-replica health and
 	// assignment counters plus retry/proxy totals.
 	Fabric *FabricStats `json:"fabric,omitempty"`

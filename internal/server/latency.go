@@ -1,0 +1,115 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// LatencySet holds one lock-free latency histogram per route. The
+// server records every request into its route's histogram; GET
+// /v1/stats reports the merged quantiles. A fabric coordinator shares
+// one set with its inner worker server (Options.Latency), so requests
+// answered locally by either layer land in the same histograms.
+type LatencySet struct {
+	routes []string
+	hists  []*hist.Histogram
+	index  map[string]int
+}
+
+// NewLatencySet builds a set over the full route table.
+func NewLatencySet() *LatencySet {
+	rs := Routes()
+	ls := &LatencySet{
+		routes: make([]string, len(rs)),
+		hists:  make([]*hist.Histogram, len(rs)),
+		index:  make(map[string]int, len(rs)),
+	}
+	for i, r := range rs {
+		key := r.Method + " " + r.Pattern
+		ls.routes[i] = key
+		ls.hists[i] = hist.New()
+		ls.index[key] = i
+	}
+	return ls
+}
+
+// Histogram returns the histogram for a "METHOD /pattern" route key,
+// or nil for routes outside the table.
+func (ls *LatencySet) Histogram(route string) *hist.Histogram {
+	if ls == nil {
+		return nil
+	}
+	if i, ok := ls.index[route]; ok {
+		return ls.hists[i]
+	}
+	return nil
+}
+
+// Timed wraps a handler to record its wall time. Streaming handlers
+// (POST /v1/campaign) record the full stream duration — the histogram
+// answers "how long did requests to this route hold a connection",
+// which is the right question for every route except the rate path,
+// whose handler records itself with a pooled shard hint instead. The
+// fabric coordinator wraps its own fabric-aware handlers with it too.
+func (ls *LatencySet) Timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hg := ls.Histogram(route)
+	if hg == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hg.Observe(time.Since(start))
+	}
+}
+
+// Snapshot reports every route with at least one observation, in route
+// table order. Durations are microseconds: the serving SLO lives in
+// the sub-millisecond to low-millisecond range, and quantiles carry
+// the histogram's 12.5% bucket resolution anyway.
+func (ls *LatencySet) Snapshot() []EndpointLatency {
+	if ls == nil {
+		return nil
+	}
+	var out []EndpointLatency
+	for i, route := range ls.routes {
+		s := ls.hists[i].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		out = append(out, endpointLatencyFromSnapshot(route, s))
+	}
+	return out
+}
+
+// RateLatency returns the rate route's snapshot alone (the fabric
+// stats block surfaces it to prove the coordinator answers /v1/rate
+// locally), or nil before the first rate request.
+func (ls *LatencySet) RateLatency() *EndpointLatency {
+	hg := ls.Histogram("POST /v1/rate")
+	if hg == nil {
+		return nil
+	}
+	s := hg.Snapshot()
+	if s.Count == 0 {
+		return nil
+	}
+	el := endpointLatencyFromSnapshot("POST /v1/rate", s)
+	return &el
+}
+
+func endpointLatencyFromSnapshot(route string, s hist.Snapshot) EndpointLatency {
+	const us = 1e3 // ns per µs
+	return EndpointLatency{
+		Route:  route,
+		Count:  s.Count,
+		MeanUS: s.Mean() / us,
+		P50US:  float64(s.Quantile(0.50)) / us,
+		P90US:  float64(s.Quantile(0.90)) / us,
+		P99US:  float64(s.Quantile(0.99)) / us,
+		P999US: float64(s.Quantile(0.999)) / us,
+		MaxUS:  float64(s.Max) / us,
+	}
+}

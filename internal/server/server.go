@@ -33,16 +33,15 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
-	"repro/internal/core"
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/hist"
 	"repro/internal/metrics"
-	"repro/internal/predict"
 	"repro/internal/replay"
-	"repro/internal/safety"
 	"repro/internal/scenario"
-	"repro/internal/sensor"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/vehicle"
@@ -73,6 +72,16 @@ type Options struct {
 	Registry *scenario.Registry
 	// MaxCampaignPoints caps points per campaign request (0 = 100000).
 	MaxCampaignPoints int
+	// Admission is the priority gate bracketing /v1/rate requests. nil
+	// builds a private gate; when the engine is also built privately the
+	// gate is shared with it, so campaign workers yield to rate traffic.
+	// Callers that pass their own Engine should pass the same gate to
+	// both (as `zhuyi serve` does) for admission to take effect.
+	Admission *admission.Gate
+	// Latency overrides the per-route latency histogram set; nil builds
+	// a private one. A fabric coordinator shares its set with its inner
+	// server so both layers' locally answered requests merge.
+	Latency *LatencySet
 }
 
 // Server is the campaign service. Construct with New; serve its
@@ -83,6 +92,9 @@ type Server struct {
 	st        *store.Store
 	reg       *scenario.Registry
 	maxPts    int
+	gate      *admission.Gate
+	lat       *LatencySet
+	rateHist  *hist.Histogram // the rate route's histogram, cached
 	requests  atomic.Int64
 	campaigns atomic.Int64
 	points    atomic.Int64
@@ -95,10 +107,14 @@ type Server struct {
 // upgrades to full so the persistent tier stays complete. Callers that
 // pass their own Engine keep its recording policy.
 func New(opts Options) *Server {
+	gate := opts.Admission
+	if gate == nil {
+		gate = admission.NewGate(0)
+	}
 	eng := opts.Engine
 	st := opts.Store
 	if eng == nil {
-		eng = engine.New(engine.Options{Workers: opts.Workers, Store: st, Record: trace.LevelSummary})
+		eng = engine.New(engine.Options{Workers: opts.Workers, Store: st, Record: trace.LevelSummary, Admission: gate})
 	} else {
 		st = eng.Store()
 	}
@@ -110,7 +126,14 @@ func New(opts Options) *Server {
 	if maxPts <= 0 {
 		maxPts = defaultMaxCampaignPoints
 	}
-	return &Server{eng: eng, st: st, reg: reg, maxPts: maxPts}
+	lat := opts.Latency
+	if lat == nil {
+		lat = NewLatencySet()
+	}
+	return &Server{
+		eng: eng, st: st, reg: reg, maxPts: maxPts,
+		gate: gate, lat: lat, rateHist: lat.Histogram("POST /v1/rate"),
+	}
 }
 
 // Engine returns the server's shared engine (the `zhuyi serve` stats
@@ -118,6 +141,9 @@ func New(opts Options) *Server {
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Handler returns the service's HTTP handler, built from Routes().
+// Every route records into its latency histogram; the rate path
+// records itself (with a pooled shard hint) instead of going through
+// the generic wrapper.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range Routes() {
@@ -125,7 +151,11 @@ func (s *Server) Handler() http.Handler {
 		if !ok {
 			panic(fmt.Sprintf("server: route %s %s has no handler", r.Method, r.Pattern))
 		}
-		mux.HandleFunc(r.Method+" "+r.Pattern, h)
+		key := r.Method + " " + r.Pattern
+		if key != "POST /v1/rate" {
+			h = s.lat.Timed(key, h)
+		}
+		mux.HandleFunc(key, h)
 	}
 	return s.counting(mux)
 }
@@ -350,64 +380,45 @@ func agentFromWire(a AgentState) world.Agent {
 	}
 }
 
+// handleRate is the pooled serving path: one borrowed scratch carries
+// the request from raw bytes to encoded response with no per-request
+// allocation on the hot path (see ratefast.go). The admission gate is
+// held for the full decode-compute-encode span so campaign workers
+// yield while this request runs; latency is self-recorded with the
+// scratch's stable shard hint.
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
-	var req RateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad rate request: %v", err)
-		return
-	}
-	if req.Ego.ID == "" {
-		req.Ego.ID = world.EgoID
-	}
-	ego := agentFromWire(req.Ego)
-	actors := make([]world.Agent, len(req.Actors))
-	for i, a := range req.Actors {
-		if a.ID == "" {
-			writeError(w, http.StatusBadRequest, "actor %d: missing id", i)
-			return
+	start := time.Now()
+	sc := getRateScratch()
+	binary := isBinaryRate(r.Header.Get("Content-Type"))
+	s.gate.Enter()
+	code, msg := s.serveRate(sc, r.Body, binary)
+	s.gate.Leave()
+	switch code {
+	case 0:
+		ct := "application/json"
+		if binary {
+			ct = RateBinaryContentType
 		}
-		actors[i] = agentFromWire(a)
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(http.StatusOK)
+		w.Write(sc.out)
+	case rateStatusFallback:
+		// A non-finite float reached the JSON wire: reproduce the
+		// legacy writeJSON behavior exactly (a 500 from MarshalIndent).
+		writeJSON(w, http.StatusOK, sc.fallbackResponse())
+	default:
+		writeError(w, code, "%s", msg)
 	}
-	if err := ego.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "ego: %v", err)
-		return
+	if s.rateHist != nil {
+		s.rateHist.ObserveShard(time.Since(start), sc.shard)
 	}
-	for _, a := range actors {
-		if err := a.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
+	putRateScratch(sc)
+}
 
-	// A fresh estimator and controller per request: the endpoint is
-	// stateless (one snapshot in, one estimate out); the controller's
-	// hysteresis state belongs to a closed loop the caller owns. The
-	// estimate is computed once and shared between the response and the
-	// controller allocation.
-	est := core.NewEstimator()
-	cfg := safety.DefaultControllerConfig()
-	pred := predict.MultiHypothesis{Horizon: est.Params.Horizon, Dt: 0.1}
-	l0 := 1 / cfg.MaxFPR
-	e := est.EstimateOnline(req.Time, ego, actors, pred, l0)
-	ctrl := safety.NewController(est, pred, cfg)
-	rates := ctrl.RatesFromEstimate(req.Time, ego, actors, e)
-
-	resp := RateResponse{
-		Time:      e.Time,
-		CameraFPR: e.CameraFPR,
-		SumFPR:    e.SumFPR(sensor.AnalyzedCameras()),
-		MaxFPR:    e.MaxFPR(sensor.AnalyzedCameras()),
-		Rates:     rates,
-	}
-	if len(req.Operating) > 0 {
-		chk := safety.Check(e, req.Operating)
-		rc := RateCheck{OK: chk.OK, Action: chk.Action.String()}
-		for _, a := range chk.Alarms {
-			rc.Alarms = append(rc.Alarms, RateAlarm{Camera: a.Camera, Required: a.Required, Operating: a.Operating})
-		}
-		resp.Check = &rc
-	}
-	writeJSON(w, http.StatusOK, resp)
+// isBinaryRate reports whether a Content-Type selects the binary rate
+// wire format.
+func isBinaryRate(ct string) bool {
+	return ct == RateBinaryContentType || strings.HasPrefix(ct, RateBinaryContentType+";")
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -460,6 +471,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.st != nil {
 		sum := s.st.Summarize()
 		resp.Store = &sum
+	}
+	resp.Latency = s.lat.Snapshot()
+	yields, waited := s.gate.Stats()
+	resp.Admission = &AdmissionStats{
+		RateInFlight: s.gate.Active(),
+		Yields:       yields,
+		WaitedMS:     float64(waited) / 1e6,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
