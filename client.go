@@ -50,6 +50,9 @@ type (
 	ServiceStats = server.StatsResponse
 	// ScenarioInfo is one catalog entry of GET /v1/scenarios.
 	ScenarioInfo = scenario.Info
+	// SearchRequest is the budget of a remote adversarial scenario
+	// search (POST /v1/search).
+	SearchRequest = server.SearchRequest
 )
 
 // Client is a typed client for a running campaign service. The zero
@@ -250,6 +253,70 @@ func statsFromWire(s server.CampaignStats) CampaignStats {
 		Skipped:   s.Skipped,
 		Wall:      time.Duration(s.WallMS * float64(time.Millisecond)),
 	}
+}
+
+// Search runs a remote adversarial scenario search (POST /v1/search):
+// the service evolves the requested spec families toward their
+// hardest corpora on its shared engine. fn (when non-nil) receives
+// each generation summary as it streams; the returned result is the
+// final hardest-N corpus. Deterministic per request: the same budget
+// yields the same corpus, and a warm server-side store answers every
+// rescore without simulating.
+func (c *Client) Search(ctx context.Context, sr SearchRequest, fn func(SearchGeneration)) (*SearchResult, error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+
+	var corpus *SearchResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl server.SearchLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return nil, fmt.Errorf("zhuyi: bad search stream line: %w", err)
+		}
+		switch {
+		case sl.Error != "":
+			return nil, fmt.Errorf("zhuyi: search: %s", sl.Error)
+		case sl.Generation != nil:
+			if fn != nil {
+				fn(*sl.Generation)
+			}
+		case sl.Corpus != nil:
+			corpus = sl.Corpus
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("zhuyi: search stream: %w", err)
+	}
+	if corpus == nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("zhuyi: search stream ended without a corpus trailer")
+	}
+	return corpus, nil
 }
 
 // MRF runs a remote minimum-required-FPR search (GET /v1/mrf/{name}).

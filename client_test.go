@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -348,5 +349,70 @@ func TestClientRateTimeoutCancelAndBinaryNegotiation(t *testing.T) {
 	}
 	if len(br.Rates) == 0 || br.MaxFPR != jr.MaxFPR || br.SumFPR != jr.SumFPR {
 		t.Errorf("binary answer diverges from JSON:\nbinary: %+v\njson:   %+v", br, jr)
+	}
+}
+
+// TestClientSearchRoundTrip is the acceptance round-trip for the
+// search endpoint at the facade level: the client streams generation
+// summaries and the final corpus matches what the library produces
+// for the same budget on a private engine — the HTTP hop adds and
+// loses nothing.
+func TestClientSearchRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real closed-loop simulations")
+	}
+	cl := startService(t, "")
+	ctx := context.Background()
+	req := SearchRequest{
+		Families:    []string{"following"},
+		Seed:        9,
+		Generations: 2,
+		Population:  3,
+		Seeds:       1,
+		TopN:        4,
+		FPRGrid:     []float64{5, 30},
+	}
+
+	var gens []SearchGeneration
+	res, err := cl.Search(ctx, req, func(g SearchGeneration) { gens = append(gens, g) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("got %d generation summaries, want 2", len(gens))
+	}
+	for i, g := range gens {
+		if g.Family != "following" || g.Generation != i+1 || g.BestName == "" {
+			t.Errorf("generation %d: %+v", i, g)
+		}
+	}
+	if len(res.Corpus) == 0 || len(res.Corpus) > 4 {
+		t.Fatalf("corpus size %d, want 1..4", len(res.Corpus))
+	}
+
+	eng := NewEngine(EngineOptions{Workers: 2})
+	defer eng.Close()
+	direct, err := SearchScenarios(ctx, SearchOptions{
+		Families:    []ScenarioFamily{"following"},
+		Seed:        9,
+		Generations: 2,
+		Population:  3,
+		Seeds:       1,
+		TopN:        4,
+		FPRGrid:     []float64{5, 30},
+		Engine:      eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, direct) {
+		t.Fatal("remote search corpus differs from the library's for the same budget")
+	}
+
+	// Bad budgets fail before the stream starts, with the server's
+	// message intact.
+	if _, err := cl.Search(ctx, SearchRequest{Generations: -1}, nil); err == nil ||
+		!strings.Contains(err.Error(), "generations") {
+		t.Fatalf("negative generations: err %v", err)
 	}
 }

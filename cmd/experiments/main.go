@@ -7,7 +7,8 @@
 //	experiments -exp fig8                velocity sensitivity grids (sn = 30, 100)
 //	experiments -exp headline            closed-loop Zhuyi controller vs 30-FPR baseline
 //	experiments -exp corpus -corpus 50   MRF distribution over a generated scenario corpus
-//	experiments -exp all                 everything
+//	experiments -exp hardest             adversarial search corpus vs blind generation
+//	experiments -exp all                 everything (except hardest; run it explicitly)
 //
 // Table 1 with the full protocol (-seeds 10) takes a few minutes; use
 // -seeds 3 for a quick pass. The corpus sweep generates -corpus
@@ -24,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,21 +37,25 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
+	"repro/internal/search"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,corpus,all")
-		seeds      = flag.Int("seeds", 10, "seeded runs per configuration (Table 1, corpus)")
-		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		csvDir     = flag.String("csv", "", "also write CSV artifacts into this directory")
-		corpusN    = flag.Int("corpus", 20, "corpus sweep: number of generated scenarios")
-		corpusSeed = flag.Int64("corpusseed", 1, "corpus sweep: generator seed")
-		tags       = flag.String("tags", "", "corpus sweep: also include registered scenarios with these comma-separated tags")
-		record     = flag.String("record", "summary", "corpus sweep: trace recording level of generated members (full, summary, off)")
-		storeDir   = flag.String("store", "", "persistent run store directory: archived points load from disk instead of simulating, fresh runs are archived back")
+		exp         = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig4,fig5,fig6,fig7,fig8,headline,ablations,corpus,hardest,all")
+		seeds       = flag.Int("seeds", 10, "seeded runs per configuration (Table 1, corpus)")
+		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		csvDir      = flag.String("csv", "", "also write CSV artifacts into this directory")
+		corpusN     = flag.Int("corpus", 20, "corpus sweep: number of generated scenarios")
+		corpusSeed  = flag.Int64("corpusseed", 1, "corpus sweep: generator seed")
+		tags        = flag.String("tags", "", "corpus sweep: also include registered scenarios with these comma-separated tags")
+		record      = flag.String("record", "summary", "corpus sweep: trace recording level of generated members (full, summary, off)")
+		storeDir    = flag.String("store", "", "persistent run store directory: archived points load from disk instead of simulating, fresh runs are archived back")
+		hardestN    = flag.Int("hardest", 100, "hardest experiment: corpus size on both sides (search top-N and blind baseline)")
+		hardestSeed = flag.Int64("hardestseed", 1, "hardest experiment: search and blind-generator seed")
+		hardestJSON = flag.String("hardestjson", "", "hardest experiment: also write the comparison artifact (BENCH_hardest.json format) to this file")
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -229,6 +235,29 @@ func main() {
 		writeCSV("corpus.csv", func(w io.Writer) error { return experiments.CorpusCSV(w, res) })
 		return nil
 	})
+	// Deliberately excluded from -exp all: the search side alone scores
+	// hundreds of genomes, and the blind baseline doubles the corpus.
+	if want["hardest"] {
+		run("hardest", func() error {
+			res, err := experiments.HardestCorpus(context.Background(), experiments.HardestOptions{
+				TopN:   *hardestN,
+				Seed:   *hardestSeed,
+				Seeds:  *seeds,
+				Engine: eng,
+				Progress: func(g search.GenerationSummary) {
+					fmt.Printf("# %s gen %d: best %s\n", g.Family, g.Generation, g.BestMRFString())
+				},
+			})
+			if err != nil {
+				return err
+			}
+			experiments.WriteHardest(os.Stdout, res)
+			if *hardestJSON != "" {
+				return writeHardestJSON(*hardestJSON, res)
+			}
+			return nil
+		})
+	}
 	run("ablations", func() error {
 		if rows, err := experiments.ConfirmationDepthAblation(nil); err != nil {
 			return err
@@ -256,5 +285,24 @@ func main() {
 		}
 		experiments.WriteAggregationAblation(os.Stdout, rows)
 		return nil
+	})
+}
+
+// writeHardestJSON commits the hardest-corpus comparison in the
+// repo's BENCH_*.json artifact format.
+func writeHardestJSON(path string, res *experiments.HardestResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		GeneratedBy string `json:"generated_by"`
+		*experiments.HardestResult
+	}{
+		GeneratedBy:   "experiments -exp hardest -hardestjson (adversarial search corpus vs blind generation; deterministic per seed and budget)",
+		HardestResult: res,
 	})
 }

@@ -38,6 +38,10 @@ func cmdCampaign(args []string) error {
 	}
 	defer stopProf()
 
+	// Zero seeds would run an empty campaign and exit 0.
+	if *seeds <= 0 {
+		return fmt.Errorf("campaign: -seeds must be positive, got %d", *seeds)
+	}
 	level, err := trace.ParseLevel(*record)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@
 //	zhuyi scenarios list -tags table1        registered scenario catalog
 //	zhuyi scenarios describe -scenario X     one scenario's spec and compiled geometry
 //	zhuyi scenarios generate -n 50 -seed 1   procedural scenario corpus (validated)
+//	zhuyi scenarios search -seed 1 -top 20   evolve families toward MRF-hard corpora
 //	zhuyi record -store DIR -tags table1     archive a corpus of runs into a persistent store
 //	zhuyi replay -store DIR                  re-evaluate archived traces (no simulation)
 //	zhuyi diff -store DIR                    diff a replay against recorded baselines
@@ -219,7 +220,7 @@ func cmdRate(args []string) error {
 
 func cmdScenarios(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: zhuyi scenarios <list|describe|generate> [flags]")
+		return fmt.Errorf("usage: zhuyi scenarios <list|describe|generate|search> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -228,8 +229,10 @@ func cmdScenarios(args []string) error {
 		return cmdScenariosDescribe(args[1:])
 	case "generate":
 		return cmdScenariosGenerate(args[1:])
+	case "search":
+		return cmdScenariosSearch(args[1:])
 	default:
-		return fmt.Errorf("unknown scenarios subcommand %q (list, describe, generate)", args[0])
+		return fmt.Errorf("unknown scenarios subcommand %q (list, describe, generate, search)", args[0])
 	}
 }
 
@@ -267,6 +270,9 @@ func cmdScenariosDescribe(args []string) error {
 	fpr := fs.Float64("fpr", 30, "rate for the compiled-geometry preview")
 	seed := fs.Int64("seed", 1, "jitter seed for the compiled-geometry preview")
 	fs.Parse(args)
+	if *fpr <= 0 {
+		return fmt.Errorf("scenarios describe: -fpr must be positive, got %g", *fpr)
+	}
 	sc, ok := scenario.Lookup(*name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (try 'zhuyi scenarios list')", *name)
@@ -306,6 +312,14 @@ func cmdScenariosGenerate(args []string) error {
 	checkSeeds := fs.Int64("check-seeds", 3, "jitter seeds to compile-check each spec with")
 	fs.Parse(args)
 
+	// An empty corpus is never what the caller meant: fail loudly
+	// instead of printing a header and exiting 0.
+	if *n <= 0 {
+		return fmt.Errorf("scenarios generate: -n must be positive, got %d", *n)
+	}
+	if *checkSeeds < 0 {
+		return fmt.Errorf("scenarios generate: -check-seeds must be non-negative, got %d", *checkSeeds)
+	}
 	var fams []scenario.Family
 	for _, f := range splitList(*families) {
 		fams = append(fams, scenario.Family(f))

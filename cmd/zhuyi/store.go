@@ -53,6 +53,10 @@ func cmdRecord(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("record: -store is required")
 	}
+	// Zero seeds would record an empty campaign and exit 0.
+	if *seeds <= 0 {
+		return fmt.Errorf("record: -seeds must be positive, got %d", *seeds)
+	}
 
 	scs, err := resolveScenarios(*names, *tags)
 	if err != nil {

@@ -15,18 +15,31 @@ type Family string
 
 // The spec families: the maneuver archetypes of the paper's Table 1
 // (cut-in, cut-out, following, benign activity) plus crossing agents,
-// each sampled at varied gaps, speeds, braking levels, and curvatures.
+// each sampled at varied gaps, speeds, braking levels, and curvatures —
+// and two adversarial-leaning families the MRF search exploits: chained
+// multi-lane cut-ins and occlusion-heavy parked-vehicle corridors.
 const (
 	FamilyCutIn     Family = "cut-in"
 	FamilyCutOut    Family = "cut-out"
 	FamilyFollowing Family = "following"
 	FamilyCrossing  Family = "crossing"
 	FamilyActivity  Family = "activity"
+	// FamilyCutInChain stacks merges from both adjacent lanes into the
+	// ego lane, each braking after its merge — headway compression in
+	// waves, the regime where a low frame rate is most expensive.
+	FamilyCutInChain Family = "cut-in-chain"
+	// FamilyParkedCorridor lines the right shoulder with parked
+	// vehicles and darts a small agent out from between them when the
+	// ego is close: the occluded-appearance corner case.
+	FamilyParkedCorridor Family = "parked-corridor"
 )
 
 // Families lists every spec family in sampling order.
 func Families() []Family {
-	return []Family{FamilyCutIn, FamilyCutOut, FamilyFollowing, FamilyCrossing, FamilyActivity}
+	return []Family{
+		FamilyCutIn, FamilyCutOut, FamilyFollowing, FamilyCrossing, FamilyActivity,
+		FamilyCutInChain, FamilyParkedCorridor,
+	}
 }
 
 // GenOptions configures a Generator.
@@ -135,6 +148,10 @@ func (g *Generator) Next() Spec {
 		sp = g.crossing()
 	case FamilyActivity:
 		sp = g.activity()
+	case FamilyCutInChain:
+		sp = g.cutInChain()
+	case FamilyParkedCorridor:
+		sp = g.parkedCorridor()
 	default:
 		// Unreachable: NewGenerator validated the family list. A silent
 		// fallback here once mislabeled unknown families as cut-in specs.
@@ -347,6 +364,138 @@ func (g *Generator) crossing() Spec {
 	if g.chance(0.5) {
 		sp.Actors = append(sp.Actors, ActorDef{
 			ID: "parked", Lane: 0, DOffset: -2.6, S: C(g.uni(25, crosserS-12)),
+		})
+	}
+	return sp
+}
+
+// cutInChain: vehicles from both adjacent lanes merge into the ego
+// lane one after another, each braking after its merge. The second
+// merge lands in the gap the first one just compressed, so the ego's
+// effective headway collapses in waves — the regime where the cost of
+// a stale perception frame compounds fastest.
+func (g *Generator) cutInChain() Spec {
+	mph := g.uni(45, 70)
+	first := g.uni(28, 45)
+	second := first + g.uni(26, 40)
+	factor1 := g.uni(0.78, 0.92)
+	factor2 := g.uni(0.72, 0.88)
+	merge1 := g.uni(1.2, 2.6)
+	dur1 := g.uni(1.6, 2.6)
+	gap2 := g.uni(2.0, 4.0)
+	dur2 := g.uni(1.8, 3.0)
+	brakeTo := g.uni(0.30, 0.60)
+	decel1 := g.uni(2.5, 5)
+	decel2 := g.uni(3, 6)
+
+	sp := Spec{
+		Description: fmt.Sprintf("Generated cut-in chain at %.0f mph: merges ahead at %.0f and %.0f m, braking to %.0f%%",
+			mph, first, second, brakeTo*100),
+		EgoSpeedMPH: mph,
+		Front:       true, Right: true, Left: true,
+		Road:     g.road(mph, 30, false),
+		EgoLane:  1,
+		Duration: 30,
+		Actors: []ActorDef{
+			{
+				ID: "chain-1", Lane: 0, S: J(first, 0.08), Speed: J(factor1, 0.04),
+				Stages: []StageDef{
+					{
+						When: TriggerDef{Kind: TrigAtTime, Arg: J(merge1, 0.15)},
+						Do:   ActionDef{Kind: ActLaneChange, TargetLane: 1, Duration: J(dur1, 0.1)},
+					},
+					{
+						When: TriggerDef{Kind: TrigAtTime, Arg: C(merge1 + dur1 + 2)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: C(brakeTo), Rate: J(decel1, 0.1)},
+					},
+				},
+			},
+			{
+				ID: "chain-2", Lane: 2, S: J(second, 0.06), Speed: J(factor2, 0.04),
+				Stages: []StageDef{
+					{
+						When: TriggerDef{Kind: TrigAtTime, Arg: JPlus(merge1+gap2, 0.8, 0.2)},
+						Do:   ActionDef{Kind: ActLaneChange, TargetLane: 1, Duration: J(dur2, 0.1)},
+					},
+					{
+						When: TriggerDef{Kind: TrigAtTime, Arg: C(merge1 + gap2 + dur2 + 2.5)},
+						Do:   ActionDef{Kind: ActBrakeTo, Target: J(brakeTo*0.8, 0.1), Rate: J(decel2, 0.08)},
+					},
+				},
+			},
+		},
+	}
+	if g.chance(0.5) {
+		third := second + g.uni(26, 40)
+		sp.Actors = append(sp.Actors, ActorDef{
+			ID: "chain-3", Lane: 0, S: J(third, 0.05), Speed: J(g.uni(0.70, 0.85), 0.04),
+			Stages: []StageDef{
+				{
+					When: TriggerDef{Kind: TrigAtTime, Arg: JPlus(merge1+gap2+dur2+1.5, 1.0, 0.2)},
+					Do:   ActionDef{Kind: ActLaneChange, TargetLane: 1, Duration: J(g.uni(1.8, 2.8), 0.1)},
+				},
+				{
+					When: TriggerDef{Kind: TrigAtTime, Arg: C(merge1 + gap2 + dur2 + 8)},
+					Do:   ActionDef{Kind: ActBrakeTo, Target: C(brakeTo * 0.7), Rate: J(decel2, 0.08)},
+				},
+			},
+		})
+	}
+	return sp
+}
+
+// parkedCorridor: an urban corridor lined with parked vehicles on the
+// right shoulder; a small agent hidden just past one of them darts
+// laterally into the ego lane when the ego closes in. Until the dart,
+// the agent sits inside the parked row's sensor shadow, so the ego's
+// reaction budget is set almost entirely by its perception rate.
+func (g *Generator) parkedCorridor() Spec {
+	mph := g.uni(18, 30)
+	n := 3 + g.rng.Intn(3)
+	start := g.uni(16, 24)
+	pitch := g.uni(11, 15)
+	hide := 1 + g.rng.Intn(n-1)
+	trigger := g.uni(16, 30)
+	latVel := g.uni(1.4, 2.6)
+	carLen := vehicle.Car().Length
+	// Long enough to clear the shoulder and both right lanes.
+	driftDur := (2*road.DefaultLaneWidth + 4) / latVel
+
+	sp := Spec{
+		Description: fmt.Sprintf("Generated parked corridor at %.0f mph: %d parked cars from %.0f m, agent darts at %.1f m/s within %.0f m",
+			mph, n, start, latVel, trigger),
+		EgoSpeedMPH: mph,
+		Front:       true, Right: true,
+		Road:     g.road(mph, 22, false),
+		EgoLane:  1,
+		Duration: 22,
+	}
+	for i := 0; i < n; i++ {
+		sp.Actors = append(sp.Actors, ActorDef{
+			ID: fmt.Sprintf("parked-%d", i+1), Lane: 0, DOffset: -2.6,
+			S: C(start + float64(i)*pitch),
+		})
+	}
+	// The darter spawns just past parked car #hide's front bumper, in
+	// the gap before the next one: occluded from the ego's forward
+	// cameras until the drift begins. The jitter is absolute (JPlus)
+	// and bounded so the agent can never overlap the deterministic
+	// parked row for any seed.
+	dartBase := start + float64(hide)*pitch + carLen/2 + 1.3
+	sp.Actors = append(sp.Actors, ActorDef{
+		ID:     "darter",
+		Kind:   KindCustom,
+		Custom: vehicle.Params{Length: 0.8, Width: 0.8, MaxAccel: 1.5, MaxBrake: 2, MaxSpeed: 3.5},
+		Lane:   0, DOffset: -3.2,
+		S: JPlus(dartBase, 0.7, 0.4), Speed: C(0), SpeedAbsolute: true,
+		Stages: []StageDef{{
+			When: TriggerDef{Kind: TrigEgoWithin, Arg: J(trigger, 0.12)},
+			Do:   ActionDef{Kind: ActDrift, LatVel: J(latVel, 0.1), Duration: C(driftDur)},
+		}},
+	})
+	if g.chance(0.4) {
+		sp.Actors = append(sp.Actors, ActorDef{
+			ID: "lead", Lane: 1, S: C(g.uni(10, 16) + carLen), Speed: C(1),
 		})
 	}
 	return sp

@@ -1,0 +1,134 @@
+package scenario
+
+// Golden pins for the two search-exploitable families added with the
+// adversarial search layer (cut-in-chain, parked-corridor), plus a
+// fingerprint-stability wall over every registered scenario. The
+// byte-for-byte spec JSON goldens prove the new samplers are frozen;
+// the fingerprint golden proves no existing registered scenario's
+// content address moved — which is what keeps every archived store
+// entry warm across this PR.
+//
+// Regenerate with: go test ./internal/scenario -run Golden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/world"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenFamilySpecs samples the pinned corpus: two specs per new
+// family from a fixed generator seed.
+func goldenFamilySpecs(f Family) []Spec {
+	return NewGenerator(GenOptions{Seed: 11, Families: []Family{f}, Prefix: "golden"}).Generate(2)
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update only if the change is intentional)", path)
+	}
+}
+
+// TestGoldenNewFamilySpecs pins the sampled spec JSON of the two new
+// families byte-for-byte.
+func TestGoldenNewFamilySpecs(t *testing.T) {
+	for _, f := range []Family{FamilyCutInChain, FamilyParkedCorridor} {
+		specs := goldenFamilySpecs(f)
+		for _, sp := range specs {
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("%s: %v", sp.Name, err)
+			}
+		}
+		b, err := json.MarshalIndent(specs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, '\n')
+		checkGolden(t, filepath.Join("testdata", fmt.Sprintf("golden_family_%s.json", f)), b)
+	}
+}
+
+// TestNewFamiliesValidAcrossGeneratorSeeds sweeps the new samplers
+// over many generator seeds — far beyond the fixed seeds the shared
+// property suite uses — and holds them to the same spawn-safety bar:
+// valid specs, simulator-valid configs, actors on (or a shoulder off)
+// the road, and no spawn-bbox overlaps including the ego.
+func TestNewFamiliesValidAcrossGeneratorSeeds(t *testing.T) {
+	for _, f := range []Family{FamilyCutInChain, FamilyParkedCorridor} {
+		for gseed := int64(1); gseed <= 20; gseed++ {
+			for _, sp := range NewGenerator(GenOptions{Seed: gseed, Families: []Family{f}}).Generate(2) {
+				if err := sp.Validate(); err != nil {
+					t.Fatalf("%s gseed %d: %v", sp.Name, gseed, err)
+				}
+				for seed := int64(1); seed <= 4; seed++ {
+					cfg := sp.Compile(12, seed)
+					if err := sim.ValidateConfig(cfg); err != nil {
+						t.Fatalf("%s gseed %d seed %d: %v", sp.Name, gseed, seed, err)
+					}
+					agents := []world.Agent{cfg.EgoInit.ToAgent(cfg.Road, world.EgoID, cfg.EgoParams)}
+					for _, a := range cfg.Actors {
+						if a.Init.Speed < 0 {
+							t.Fatalf("%s gseed %d seed %d: actor %s negative speed", sp.Name, gseed, seed, a.ID)
+						}
+						if !cfg.Road.InBounds(a.Init.D, cfg.Road.LaneWidth) {
+							t.Fatalf("%s gseed %d seed %d: actor %s off-road at d=%v", sp.Name, gseed, seed, a.ID, a.Init.D)
+						}
+						agents = append(agents, a.Init.ToAgent(cfg.Road, a.ID, a.Params))
+					}
+					for i := range agents {
+						for k := i + 1; k < len(agents); k++ {
+							if agents[i].BBox().Intersects(agents[k].BBox()) {
+								t.Fatalf("%s gseed %d seed %d: %s overlaps %s at spawn",
+									sp.Name, gseed, seed, agents[i].ID, agents[k].ID)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenFingerprintStability pins SpecFingerprint for every
+// registered scenario (Table 1 + ODD variants) and for the new-family
+// golden corpus. A diff here means archived store entries under the
+// old fingerprints would go cold — bump sim.Version or revert.
+func TestGoldenFingerprintStability(t *testing.T) {
+	fps := map[string]string{}
+	for _, sp := range append(Table1Specs(), VariantSpecs()...) {
+		fps[sp.Name] = SpecFingerprint(sp)
+	}
+	for _, f := range []Family{FamilyCutInChain, FamilyParkedCorridor} {
+		for _, sp := range goldenFamilySpecs(f) {
+			fps[sp.Name] = SpecFingerprint(sp)
+		}
+	}
+	b, err := json.MarshalIndent(fps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, '\n')
+	checkGolden(t, filepath.Join("testdata", "golden_fingerprints.json"), b)
+}

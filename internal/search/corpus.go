@@ -1,0 +1,42 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/scenario"
+)
+
+// WriteCorpus serializes a search result as indented JSON. The bytes
+// are a pure function of the result, so two deterministic searches
+// produce byte-identical corpus files — which is what the determinism
+// smoke diffs.
+func WriteCorpus(w io.Writer, r *Result) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("search: encode corpus: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCorpus parses a corpus file written by WriteCorpus.
+func ReadCorpus(r io.Reader) (*Result, error) {
+	var out Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("search: decode corpus: %w", err)
+	}
+	return &out, nil
+}
+
+// Register loads every corpus spec into the registry, hardest first.
+func (r *Result) Register(reg *scenario.Registry) error {
+	for _, sp := range r.Specs() {
+		if err := reg.RegisterSpec(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package search
+
+// FuzzSpecMutate: for any valid spec the fuzzer can construct, every
+// mutated and crossed-over child stays inside the parent's declared
+// Val ranges, still validates, and compiles deterministically without
+// panicking — the containment contract that makes the evolutionary
+// step safe to run unsupervised over arbitrary corpora.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// fuzzBoundsSane rejects specs whose declared ranges are so extreme
+// that interval arithmetic itself degenerates (float overflow): the
+// containment property is only meaningful over finite intervals.
+func fuzzBoundsSane(sp *scenario.Spec) bool {
+	for _, v := range valSlots(sp) {
+		lo, hi := v.Bounds()
+		if math.Abs(lo) > 1e12 || math.Abs(hi) > 1e12 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkChild asserts the mutation/crossover contract: child validates,
+// every child Val interval is contained in the union of the parents'
+// (slot-wise), and compilation is deterministic and panic-free.
+func checkChild(t *testing.T, child scenario.Spec, parents ...scenario.Spec) {
+	t.Helper()
+	if err := child.Validate(); err != nil {
+		t.Fatalf("bred child no longer validates: %v", err)
+	}
+	cs := valSlots(&child)
+	for i, cv := range cs {
+		clo, chi := cv.Bounds()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for pi := range parents {
+			pv := valSlots(&parents[pi])[i]
+			plo, phi := pv.Bounds()
+			lo, hi = math.Min(lo, plo), math.Max(hi, phi)
+		}
+		eps := 1e-9 * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+		if clo < lo-eps || chi > hi+eps {
+			t.Fatalf("slot %d escaped declared range: child [%v, %v] vs parents [%v, %v]",
+				i, clo, chi, lo, hi)
+		}
+	}
+	cfgA, infoA := child.CompileTraced(checkFPR, 3)
+	cfgB, infoB := child.CompileTraced(checkFPR, 3)
+	if !reflect.DeepEqual(infoA, infoB) {
+		t.Fatal("child compilation not deterministic")
+	}
+	_, _ = cfgA, cfgB
+}
+
+func FuzzSpecMutate(f *testing.F) {
+	gen := scenario.NewGenerator(scenario.GenOptions{Seed: 19})
+	for _, sp := range gen.Generate(len(scenario.Families()) * 2) {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b, int64(1))
+		f.Add(b, int64(42))
+	}
+	for _, sp := range scenario.Table1Specs() {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b, int64(7))
+	}
+	f.Add([]byte(`{"Name":"x"}`), int64(0))
+	f.Add([]byte(`not json`), int64(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, opSeed int64) {
+		var sp scenario.Spec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return
+		}
+		if sp.Validate() != nil || !fuzzBoundsSane(&sp) {
+			return
+		}
+		rng := rand.New(rand.NewSource(opSeed))
+
+		mut, ok := Mutate(sp, rng)
+		if !ok {
+			return // no jittered Vals to bisect
+		}
+		checkChild(t, mut, sp)
+
+		// A parent and its mutant always share a shape, so crossover
+		// must succeed and stay within the pair's union of ranges.
+		cross, ok := Crossover(sp, mut, rng)
+		if !ok {
+			t.Fatal("crossover refused a parent/mutant pair")
+		}
+		checkChild(t, cross, sp, mut)
+
+		// Content addressing: renaming is stable and identity-blind.
+		if GenomeName("fuzz", mut) != GenomeName("fuzz", finalize("fuzz", mut)) {
+			t.Fatal("GenomeName depends on name/tags")
+		}
+	})
+}

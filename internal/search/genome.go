@@ -1,0 +1,187 @@
+package search
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TagSearch marks specs produced by the adversarial search layer; the
+// family name rides along as its own tag, like generator output.
+const TagSearch = "search"
+
+// checkFPR is the rate used for compile-validity probes of bred specs
+// (the same rate the scenario property suite compiles at).
+const checkFPR = 12
+
+// checkSeeds is how many seeds a bred spec must compile cleanly at
+// before it is admitted to a population.
+const checkSeeds = 2
+
+// cloneSpec deep-copies a spec so genome edits never alias a parent's
+// actor or stage slices.
+func cloneSpec(sp scenario.Spec) scenario.Spec {
+	out := sp
+	if sp.Tags != nil {
+		out.Tags = append([]string(nil), sp.Tags...)
+	}
+	if sp.Actors != nil {
+		out.Actors = make([]scenario.ActorDef, len(sp.Actors))
+		copy(out.Actors, sp.Actors)
+		for i := range out.Actors {
+			if out.Actors[i].Stages == nil {
+				continue
+			}
+			st := make([]scenario.StageDef, len(out.Actors[i].Stages))
+			copy(st, out.Actors[i].Stages)
+			out.Actors[i].Stages = st
+		}
+	}
+	return out
+}
+
+// valSlots enumerates every jitterable Val in the spec, in the same
+// declaration order the compile-time jitter stream consumes them.
+func valSlots(sp *scenario.Spec) []*scenario.Val {
+	var out []*scenario.Val
+	for i := range sp.Actors {
+		a := &sp.Actors[i]
+		out = append(out, &a.S, &a.Speed)
+		for k := range a.Stages {
+			st := &a.Stages[k]
+			out = append(out, &st.When.Arg, &st.Do.Duration, &st.Do.Target,
+				&st.Do.Rate, &st.Do.Offset, &st.Do.LatVel)
+		}
+	}
+	return out
+}
+
+// Mutate bisects one jittered Val range: the child keeps the parent's
+// spec shape but narrows the chosen Val to a random half of its
+// declared interval (halving Frac and re-centering Base). Every value
+// the child can evaluate to lies inside the parent's declared range,
+// so mutation can only refine — never escape — a family's envelope;
+// the search's selection pressure is what steers the kept halves
+// toward the hard end. Returns false when the spec has no jittered
+// Vals to bisect.
+func Mutate(sp scenario.Spec, rng *rand.Rand) (scenario.Spec, bool) {
+	child := cloneSpec(sp)
+	slots := valSlots(&child)
+	var jittered []*scenario.Val
+	for _, v := range slots {
+		if v.Frac != 0 && v.Jit != 0 {
+			jittered = append(jittered, v)
+		}
+	}
+	if len(jittered) == 0 {
+		return sp, false
+	}
+	v := jittered[rng.Intn(len(jittered))]
+	center := v.Base + v.Jit
+	half := math.Abs(v.Jit) * v.Frac / 2
+	if rng.Intn(2) == 0 {
+		half = -half
+	}
+	v.Base = center + half - v.Jit
+	v.Frac /= 2
+	return child, true
+}
+
+// sameShape reports whether two specs share a genome layout: same
+// actors (identity, kind, lane, spawn side), same stage kinds, same
+// road archetype. Only same-shaped specs can exchange Val genes.
+func sameShape(a, b scenario.Spec) bool {
+	if len(a.Actors) != len(b.Actors) || a.Duration != b.Duration ||
+		a.EgoLane != b.EgoLane || a.Road.Curved != b.Road.Curved ||
+		a.Road.Lanes != b.Road.Lanes {
+		return false
+	}
+	for i := range a.Actors {
+		x, y := &a.Actors[i], &b.Actors[i]
+		if x.ID != y.ID || x.Kind != y.Kind || x.Custom != y.Custom ||
+			x.Lane != y.Lane || x.DOffset != y.DOffset ||
+			x.SpeedAbsolute != y.SpeedAbsolute || len(x.Stages) != len(y.Stages) {
+			return false
+		}
+		for k := range x.Stages {
+			sx, sy := &x.Stages[k], &y.Stages[k]
+			if sx.When.Kind != sy.When.Kind || sx.Do.Kind != sy.Do.Kind ||
+				sx.Do.TargetLane != sy.Do.TargetLane ||
+				sx.Do.TargetAbsolute != sy.Do.TargetAbsolute ||
+				sx.Do.MaxAccel != sy.Do.MaxAccel || sx.Do.MaxBrake != sy.Do.MaxBrake {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Crossover mixes two same-shaped parents gene by gene: the ego
+// speed/road pair is one gene, every Val slot another, each taken
+// whole from one parent by coin flip. Each child Val therefore equals
+// one parent's declared Val exactly — crossover explores combinations,
+// never new ranges. Returns false for shape-incompatible parents
+// (callers fall back to Mutate).
+func Crossover(a, b scenario.Spec, rng *rand.Rand) (scenario.Spec, bool) {
+	if !sameShape(a, b) {
+		return scenario.Spec{}, false
+	}
+	child := cloneSpec(a)
+	if rng.Intn(2) == 1 {
+		child.EgoSpeedMPH = b.EgoSpeedMPH
+		child.Road = b.Road
+	}
+	bc := cloneSpec(b)
+	cs, bs := valSlots(&child), valSlots(&bc)
+	for i := range cs {
+		if rng.Intn(2) == 1 {
+			*cs[i] = *bs[i]
+		}
+	}
+	return child, true
+}
+
+// GenomeName content-addresses a candidate: the spec is fingerprinted
+// with its identity fields (name, tags) cleared, so two searches that
+// breed the same parameters produce the same name — which is exactly
+// what lets the engine's singleflight cache and the persistent store
+// deduplicate their runs — while distinct genomes can never alias.
+func GenomeName(family scenario.Family, sp scenario.Spec) string {
+	c := cloneSpec(sp)
+	c.Name = ""
+	c.Tags = nil
+	return fmt.Sprintf("%s/%s-%s", TagSearch, family, scenario.SpecFingerprint(c)[:16])
+}
+
+// finalize names and tags a bred spec as a search genome.
+func finalize(family scenario.Family, sp scenario.Spec) scenario.Spec {
+	sp.Name = GenomeName(family, sp)
+	sp.Tags = []string{scenario.TagGenerated, TagSearch, string(family)}
+	return sp
+}
+
+// specOK admits a bred spec to a population: statically valid and
+// simulator-valid at the probe seeds.
+func specOK(sp scenario.Spec) bool {
+	if sp.Validate() != nil {
+		return false
+	}
+	for seed := int64(1); seed <= checkSeeds; seed++ {
+		if sim.ValidateConfig(sp.Compile(checkFPR, seed)) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// familySeed folds a family name into the search seed so each family
+// breeds from an independent deterministic stream.
+func familySeed(seed int64, family scenario.Family) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(family))
+	return seed ^ int64(h.Sum64())
+}

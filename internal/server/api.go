@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/scenario"
+	"repro/internal/search"
 	"repro/internal/store"
 )
 
@@ -68,6 +69,36 @@ type CampaignLine struct {
 	Point *PointResult   `json:"point,omitempty"`
 	Stats *CampaignStats `json:"stats,omitempty"`
 	Error string         `json:"error,omitempty"`
+}
+
+// SearchRequest is the body of POST /v1/search: the budget of an
+// adversarial scenario search (see internal/search). Zero fields take
+// the search defaults; the resolved budget must fit the server's
+// campaign point limit.
+type SearchRequest struct {
+	// Families restricts the search (default: every spec family).
+	Families []string `json:"families,omitempty"`
+	// Seed makes the search reproducible: the same request body always
+	// streams the same generations and corpus.
+	Seed int64 `json:"seed"`
+	// Generations and Population set the per-family budget.
+	Generations int `json:"generations,omitempty"`
+	Population  int `json:"population,omitempty"`
+	// Seeds is the number of simulation seeds per MRF evaluation.
+	Seeds int `json:"seeds,omitempty"`
+	// TopN trims the returned corpus to the hardest N candidates.
+	TopN int `json:"top_n,omitempty"`
+	// FPRGrid overrides the Table-1 candidate rate grid.
+	FPRGrid []float64 `json:"fpr_grid,omitempty"`
+}
+
+// SearchLine is one NDJSON line of the POST /v1/search stream: a
+// generation summary while the search runs, then exactly one corpus
+// (or error) trailer.
+type SearchLine struct {
+	Generation *search.GenerationSummary `json:"generation,omitempty"`
+	Corpus     *search.Result            `json:"corpus,omitempty"`
+	Error      string                    `json:"error,omitempty"`
 }
 
 // RatePoint is one tested rate of an MRF search.
@@ -294,6 +325,7 @@ func Routes() []Route {
 		{"GET", "/v1/mrf/{scenario}", "minimum-required-FPR search for one scenario (paper §4.2)"},
 		{"POST", "/v1/rate", "online §3.2 rate estimate on a posted kinematic snapshot, with controller allocation and optional safety check"},
 		{"GET", "/v1/scenarios", "registered scenario catalog, or a generated corpus with ?corpus=N&seed=S"},
+		{"POST", "/v1/search", "adversarial scenario search: evolve spec families toward MRF-hard corpora; streams one NDJSON generation summary per (family, generation), then the hardest-N corpus"},
 		{"GET", "/v1/stats", "engine and service counters: fresh runs vs memory/disk hits, store volume"},
 		{"GET", "/v1/store", "attached persistent store: directory, manifest summary, baseline presence"},
 		{"GET", "/v1/store/manifest", "manifest entries, optionally filtered by ?scenario="},

@@ -175,6 +175,8 @@ func (s *Server) handlerFor(r Route) (http.HandlerFunc, bool) {
 		return s.handleRate, true
 	case "/v1/scenarios":
 		return s.handleScenarios, true
+	case "/v1/search":
+		return s.handleSearch, true
 	case "/v1/stats":
 		return s.handleStats, true
 	case "/v1/store":

@@ -109,6 +109,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/safety"
 	"repro/internal/scenario"
+	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -252,6 +253,35 @@ func FindMRF(name string, fprs []float64, seeds int) (MRF, error) {
 // Sweep computes the Figure-8 sensitivity grid for a fixed tolerable
 // distance in meters.
 func Sweep(snMeters float64) *SweepResult { return experiments.Figure8(snMeters) }
+
+// Adversarial scenario search re-exports. See internal/search for the
+// evolutionary loop and its determinism contract.
+type (
+	// SearchOptions budgets an adversarial scenario search: families,
+	// seed, generations, population, MRF seeds, rate grid, and the
+	// engine to score on.
+	SearchOptions = search.Options
+	// SearchResult is a completed search: the budget that produced it
+	// plus the hardest-N corpus sorted hardest first.
+	SearchResult = search.Result
+	// SearchCandidate is one evaluated corpus member with its MRF.
+	SearchCandidate = search.Candidate
+	// SearchGeneration summarizes one (family, generation) step of a
+	// running search; SearchOptions.Progress receives one per step.
+	SearchGeneration = search.GenerationSummary
+)
+
+// SearchScenarios evolves the configured spec families toward high
+// minimum-required-FPR scenarios and returns the hardest-N corpus. The
+// result is a deterministic function of the options — same families,
+// seed, and budget give a bitwise-identical corpus regardless of the
+// engine's worker count or cache state. Candidates are content-named,
+// so an engine with a warm persistent store rescores a repeated search
+// without a single fresh simulation. Register the corpus via
+// RegisterScenario (or Result.Register) to run it like built-ins.
+func SearchScenarios(ctx context.Context, opt SearchOptions) (*SearchResult, error) {
+	return search.Search(ctx, opt)
+}
 
 // Batched run-campaign re-exports. See internal/engine for the full
 // scheduler and cache documentation.
