@@ -12,6 +12,8 @@
 //	zhuyi record -store DIR -tags table1     archive a corpus of runs into a persistent store
 //	zhuyi replay -store DIR                  re-evaluate archived traces (no simulation)
 //	zhuyi diff -store DIR                    diff a replay against recorded baselines
+//	zhuyi store migrate -store DIR -to zyt   rewrite archived trace objects between formats
+//	zhuyi store index -store DIR             rebuild the manifest sidecar index
 //	zhuyi campaign -fprs 5,30 -seeds 3       batch of seeded runs, local or -server URL
 //	zhuyi serve -addr :8080 -store DIR       the HTTP campaign service (see docs/api.md)
 //
@@ -69,6 +71,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
 	case "serve":
@@ -84,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios|record|replay|diff|campaign|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zhuyi <estimate|sweep|demand|mrf|rate|scenarios|record|replay|diff|store|campaign|serve> [flags]")
 }
 
 func cmdEstimate(args []string) error {

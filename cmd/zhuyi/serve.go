@@ -85,6 +85,10 @@ func cmdServe(args []string) error {
 	if err := serveUntilSignal(ln, srv.Handler(), *drain); err != nil {
 		return err
 	}
+	// The HTTP drain above settled in-flight requests; now flush the
+	// asynchronous archive queue so every fresh run this process
+	// produced is on disk before the final stats print and exit.
+	eng.Drain()
 	st := eng.Stats()
 	fmt.Printf("zhuyi serve: done — %d fresh simulations, %d memory hits, %d disk hits, %d archived\n",
 		st.Executed, st.CacheHits, st.DiskHits, st.Archived)

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// archiver moves the persistent store's Put off the waiter path: a
+// fresh run's result is enqueued (ordered, bounded) and the engine
+// finishes the task immediately, so singleflight waiters unblock at
+// memory-tier latency while one background goroutine does the
+// serialize/write/fsync work. Ordering is preserved (FIFO), memory is
+// bounded (a full queue applies backpressure to the producing worker),
+// and nothing is lost on shutdown: Engine.Close flushes the queue, and
+// items enqueued after close are archived synchronously by the caller.
+//
+// RunBatch drains the archiver before returning, preserving the PR 3
+// contract that a campaign which has returned finds every one of its
+// fresh runs on disk. Single-run callers that need the same guarantee
+// (serving processes about to exit, tests) call Engine.Drain.
+type archiver struct {
+	e *Engine
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []archiveItem
+	bound int
+	busy  bool // the drain goroutine is mid-Put
+	once  sync.Once
+	done  bool // closed: no new queueing, callers archive synchronously
+}
+
+type archiveItem struct {
+	job Job
+	res *sim.Result
+}
+
+func newArchiver(e *Engine, bound int) *archiver {
+	a := &archiver{e: e, bound: bound}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// enqueue hands a fresh result to the background writer, blocking only
+// when the queue is at its bound (memory backpressure). After close it
+// degrades to a synchronous archive on the calling goroutine, so a
+// worker finishing a job mid-shutdown still persists it.
+func (a *archiver) enqueue(j Job, res *sim.Result) {
+	a.mu.Lock()
+	for !a.done && len(a.queue) >= a.bound {
+		a.cond.Wait()
+	}
+	if a.done {
+		a.mu.Unlock()
+		a.e.archive(j, res)
+		return
+	}
+	a.queue = append(a.queue, archiveItem{job: j, res: res})
+	a.once.Do(func() { go a.loop() })
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// loop is the single background writer: strictly FIFO, one Put at a
+// time, terminating once the archiver is closed and empty.
+func (a *archiver) loop() {
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.done {
+			a.cond.Wait()
+		}
+		if len(a.queue) == 0 {
+			a.mu.Unlock()
+			a.cond.Broadcast()
+			return
+		}
+		item := a.queue[0]
+		a.queue = a.queue[1:]
+		a.busy = true
+		a.mu.Unlock()
+		a.cond.Broadcast() // a producer may be waiting on the bound
+
+		a.e.archive(item.job, item.res)
+
+		a.mu.Lock()
+		a.busy = false
+		a.mu.Unlock()
+		a.cond.Broadcast() // drainers wait for busy to clear
+	}
+}
+
+// drain blocks until every enqueued item has been written.
+func (a *archiver) drain() {
+	a.mu.Lock()
+	for len(a.queue) > 0 || a.busy {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// close flushes the queue and stops the background writer; later
+// enqueues archive synchronously.
+func (a *archiver) close() {
+	a.mu.Lock()
+	a.done = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	a.drain()
+}
+
+// pending reports the queue depth including the item being written.
+func (a *archiver) pending() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := int64(len(a.queue))
+	if a.busy {
+		n++
+	}
+	return n
+}

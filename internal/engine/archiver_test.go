@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestArchiverOrderAndDrain: the background writer is strictly FIFO,
+// so with sequential submissions the manifest (which preserves
+// first-recorded order) must list entries in submission order, and
+// after Drain the pending gauge settles at zero.
+func TestArchiverOrderAndDrain(t *testing.T) {
+	st := openStore(t)
+	fr := &tracedRunner{}
+	e := New(Options{Workers: 1, Runner: fr.run, Store: st})
+	const n = 32
+	for i := int64(0); i < n; i++ {
+		j := Job{Scenario: fakeScenario("fifo"), FPR: 5, Seed: i + 1}
+		if _, err := e.Run(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	entries := st.Entries()
+	if len(entries) != n {
+		t.Fatalf("store holds %d entries, want %d", len(entries), n)
+	}
+	for i, en := range entries {
+		if en.Key.Seed != int64(i+1) {
+			t.Fatalf("write order broken at %d: got seed %d", i, en.Key.Seed)
+		}
+	}
+	if s := e.Stats(); s.ArchivePending != 0 || s.Archived != n {
+		t.Fatalf("post-drain stats = %+v", s)
+	}
+}
+
+// TestArchiverAsyncIntegration exercises the concurrent path: fresh
+// runs return before their Put necessarily lands, Drain flushes
+// everything to the store, and ArchivePending settles at zero.
+func TestArchiverAsyncIntegration(t *testing.T) {
+	st := openStore(t)
+	fr := &tracedRunner{}
+	e := New(Options{Workers: 4, Runner: fr.run, Store: st})
+	jobs := gridJobs(fakeScenario("async"), []float64{1, 5, 30}, 4)
+	for _, j := range jobs {
+		if _, err := e.Run(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if s := e.Stats(); s.Archived != int64(len(jobs)) || s.ArchivePending != 0 || s.StoreErrors != 0 {
+		t.Fatalf("post-drain stats = %+v", s)
+	}
+	if st.Len() != len(jobs) {
+		t.Fatalf("store holds %d entries, want %d", st.Len(), len(jobs))
+	}
+}
+
+// TestArchiverCloseFlushesAndFallsBackSync: Close drains the queue,
+// and an enqueue after Close must still archive (synchronously) rather
+// than drop the result.
+func TestArchiverCloseFlushesAndFallsBackSync(t *testing.T) {
+	st := openStore(t)
+	fr := &tracedRunner{}
+	e := New(Options{Workers: 2, Runner: fr.run, Store: st})
+	j := Job{Scenario: fakeScenario("close"), FPR: 5, Seed: 1}
+	if _, err := e.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	e.arch.close()
+	if st.Len() != 1 {
+		t.Fatalf("close did not flush: store holds %d entries", st.Len())
+	}
+
+	// Post-close enqueue degrades to a synchronous archive.
+	j2 := Job{Scenario: fakeScenario("close"), FPR: 5, Seed: 2}
+	res, err := fr.run(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.enqueueArchive(j2, res)
+	if st.Len() != 2 {
+		t.Fatalf("post-close enqueue lost the result: store holds %d entries", st.Len())
+	}
+	if s := e.Stats(); s.Archived != 2 {
+		t.Fatalf("stats = %+v, want 2 archived", s)
+	}
+}
+
+// TestArchiverDropsNonResults: nil results and store-less engines must
+// not panic or queue anything.
+func TestArchiverDropsNonResults(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.enqueueArchive(Job{Scenario: fakeScenario("x"), FPR: 1, Seed: 1}, &sim.Result{})
+	e.Drain() // no archiver attached: must be a no-op
+	if p := e.archivePending(); p != 0 {
+		t.Fatalf("pending = %d on store-less engine", p)
+	}
+
+	st := openStore(t)
+	e2 := New(Options{Workers: 1, Store: st})
+	e2.enqueueArchive(Job{Scenario: fakeScenario("x"), FPR: 1, Seed: 1}, nil)
+	e2.Drain()
+	if st.Len() != 0 {
+		t.Fatal("nil result was archived")
+	}
+}

@@ -128,6 +128,7 @@ func TestPersistentTierEquivalenceRealSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	a.Drain() // single Run archives asynchronously; flush before reading stats
 	if s := a.Stats(); s.Executed != 1 || s.Archived != 1 || s.StoreErrors != 0 {
 		t.Fatalf("fresh engine stats = %+v", s)
 	}
@@ -162,6 +163,7 @@ func TestPersistentTierSkipsNonPersistableJobs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	e.Drain()
 	if st.Len() != 1 {
 		t.Fatalf("store holds %d entries, want only the plain run", st.Len())
 	}

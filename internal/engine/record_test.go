@@ -73,6 +73,7 @@ func TestStoreUpgradesRecordLevel(t *testing.T) {
 	if plain.Level != trace.LevelFull || plain.Trace == nil || plain.Trace.Len() == 0 {
 		t.Fatalf("persistable job on store engine: level %v, trace %v — want an archivable full trace", plain.Level, plain.Trace)
 	}
+	e.Drain()
 	if st.Len() != 1 {
 		t.Fatalf("store has %d entries, want the archived run", st.Len())
 	}
@@ -112,6 +113,7 @@ func TestArchiveRefusesNonFullResults(t *testing.T) {
 	if err != nil || res == nil {
 		t.Fatalf("run failed: %v", err)
 	}
+	e.Drain() // the rejection happens on the async archive path
 	if st.Len() != 0 {
 		t.Fatalf("summary-level result was archived (%d entries)", st.Len())
 	}

@@ -17,7 +17,10 @@ const (
 	benchSeed = int64(1)
 )
 
-func benchRecordedStore(b *testing.B, seeds int) (*store.Store, scenario.Scenario, []engine.Job) {
+// benchRecordedStore records the benchmark points and migrates the
+// objects to the requested on-disk format, so format-sensitive
+// subbenchmarks compare decoders over identical content.
+func benchRecordedStore(b *testing.B, seeds int, format store.Format) (*store.Store, scenario.Scenario, []engine.Job) {
 	b.Helper()
 	sc, ok := scenario.Lookup(scenario.CutOut)
 	if !ok {
@@ -37,12 +40,17 @@ func benchRecordedStore(b *testing.B, seeds int) (*store.Store, scenario.Scenari
 	if _, err := eng.RunBatch(context.Background(), jobs); err != nil {
 		b.Fatal(err)
 	}
+	if _, err := st.Migrate(format); err != nil {
+		b.Fatal(err)
+	}
 	return st, sc, jobs
 }
 
 // BenchmarkReplayVsSimulate is the headline speed claim of the replay
 // harness: re-deriving a run's regression summary from its archived
-// trace versus re-simulating the point from scratch.
+// trace versus re-simulating the point from scratch, and the disk
+// tier's Get through the binary ZYT decoder versus the legacy
+// gzip-JSONL decoder over identical archived content.
 func BenchmarkReplayVsSimulate(b *testing.B) {
 	b.Run("Simulate", func(b *testing.B) {
 		sc, _ := scenario.Lookup(scenario.CutOut)
@@ -53,7 +61,7 @@ func BenchmarkReplayVsSimulate(b *testing.B) {
 		}
 	})
 	b.Run("Replay", func(b *testing.B) {
-		st, _, _ := benchRecordedStore(b, 1)
+		st, _, _ := benchRecordedStore(b, 1, store.FormatZYT)
 		entry := st.Entries()[0]
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -66,16 +74,20 @@ func BenchmarkReplayVsSimulate(b *testing.B) {
 			}
 		}
 	})
-	b.Run("DiskLoad", func(b *testing.B) {
-		st, _, _ := benchRecordedStore(b, 1)
-		key := store.KeyFor(scenario.CutOut, benchFPR, benchSeed)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, ok, err := st.Get(key); !ok || err != nil {
-				b.Fatalf("ok=%v err=%v", ok, err)
+	diskGet := func(format store.Format) func(b *testing.B) {
+		return func(b *testing.B) {
+			st, _, _ := benchRecordedStore(b, 1, format)
+			key := store.KeyFor(scenario.CutOut, benchFPR, benchSeed)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := st.Get(key); !ok || err != nil {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
 			}
 		}
-	})
+	}
+	b.Run("DiskGetZYT", diskGet(store.FormatZYT))
+	b.Run("DiskGetJSONL", diskGet(store.FormatJSONL))
 }
 
 // BenchmarkMRFSearch measures a full minimum-required-FPR search cold
@@ -142,7 +154,7 @@ func BenchmarkPersistentWarmStart(b *testing.B) {
 		}
 	})
 	b.Run("WarmDisk", func(b *testing.B) {
-		st, _, jobs := benchRecordedStore(b, seeds)
+		st, _, jobs := benchRecordedStore(b, seeds, store.FormatZYT)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// A new engine per iteration: the memory cache starts empty,

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// countObjects tallies on-disk objects by extension.
+func countObjects(t *testing.T, dir string) (zyt, jsonl int) {
+	t.Helper()
+	filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(path, extZYT):
+			zyt++
+		case strings.HasSuffix(path, extJSONL):
+			jsonl++
+		}
+		return nil
+	})
+	return zyt, jsonl
+}
+
+// TestPropertyFormatsEveryScenarioEveryLevel is the cross-format
+// equivalence property over the real simulator: for every registered
+// scenario and every archivable recording level, the gzip-JSONL round
+// trip and the ZYT1 round trip reconstruct deep-equal sim.Results.
+// LevelOff produces no trace at all and is asserted as such.
+func TestPropertyFormatsEveryScenarioEveryLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered scenario through the simulator")
+	}
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for _, sc := range scenario.Default().List() {
+		for _, level := range []trace.Level{trace.LevelFull, trace.LevelSummary, trace.LevelOff} {
+			cfg := sc.Build(10, 1)
+			cfg.Record = level
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sc.Name, level, err)
+			}
+			if level == trace.LevelOff {
+				if res.Trace != nil {
+					t.Errorf("%s: LevelOff produced a trace", sc.Name)
+				}
+				continue
+			}
+			// Trace-layer equivalence at every recorded level.
+			viaJSON := jsonlRoundTripTrace(t, res.Trace)
+			viaZYT := zytRoundTripTrace(t, res.Trace)
+			if !reflect.DeepEqual(viaZYT, viaJSON) {
+				t.Errorf("%s/%s: ZYT and JSONL round trips disagree", sc.Name, level)
+			}
+			if level != trace.LevelFull {
+				continue
+			}
+			// Store-layer equivalence: archive (written as .zyt), read
+			// back, then migrate the object to legacy gzip JSONL and read
+			// again — all three views must be deep-equal.
+			k := KeyForScenario(sc, 10, 1)
+			if _, _, err := st.Put(sc.Name, k, res); err != nil {
+				t.Fatalf("%s: put: %v", sc.Name, err)
+			}
+			got, ok, err := st.Get(k)
+			if err != nil || !ok {
+				t.Fatalf("%s: get: ok=%v err=%v", sc.Name, ok, err)
+			}
+			if !reflect.DeepEqual(got, res) {
+				t.Errorf("%s: ZYT-archived result differs from fresh simulation", sc.Name)
+			}
+		}
+	}
+
+	// Flip the whole store to the legacy format and require identical
+	// reconstructions through the gzip-JSONL decoder.
+	fresh := map[Key]*sim.Result{}
+	for _, sc := range scenario.Default().List() {
+		res, err := sim.Run(sc.Build(10, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[KeyForScenario(sc, 10, 1)] = res
+	}
+	if _, err := st.Migrate(FormatJSONL); err != nil {
+		t.Fatalf("migrate to jsonl: %v", err)
+	}
+	for k, res := range fresh {
+		got, ok, err := st.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("post-migrate get: ok=%v err=%v", ok, err)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("JSONL-migrated result differs from fresh simulation for %+v", k)
+		}
+	}
+}
+
+// jsonlRoundTripTrace / zytRoundTripTrace mirror the trace package's
+// white-box helpers for use from the store's tests.
+func jsonlRoundTripTrace(t *testing.T, tr *trace.Trace) *trace.Trace {
+	t.Helper()
+	var buf strings.Builder
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func zytRoundTripTrace(t *testing.T, tr *trace.Trace) *trace.Trace {
+	t.Helper()
+	var buf strings.Builder
+	if err := tr.WriteZYT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadZYT(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestMigrateMixedFormatStore drives the full migration workflow: a
+// store recorded in the current format, migrated to legacy, extended
+// with new recordings (mixed formats on disk), read transparently, and
+// migrated back.
+func TestMigrateMixedFormatStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := map[Key]*sim.Result{}
+	put := func(scn string, seed int64, rows int) {
+		res := syntheticResult(scn, 10, seed, rows, seed%2 == 0)
+		k := key(scn, 10, seed)
+		if _, _, err := st.Put(scn, k, res); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = res
+	}
+	put("mixed-a", 1, 30)
+	put("mixed-a", 2, 40)
+	put("mixed-b", 3, 25)
+
+	if z, j := countObjects(t, dir); z != 3 || j != 0 {
+		t.Fatalf("fresh store objects: %d zyt, %d jsonl; want 3, 0", z, j)
+	}
+	stats, err := st.Migrate(FormatJSONL)
+	if err != nil {
+		t.Fatalf("migrate to jsonl: %v", err)
+	}
+	if stats.Rewritten != 3 || stats.Skipped != 0 {
+		t.Errorf("migrate stats %+v, want 3 rewritten", stats)
+	}
+	if z, j := countObjects(t, dir); z != 0 || j != 3 {
+		t.Fatalf("post-migrate objects: %d zyt, %d jsonl; want 0, 3", z, j)
+	}
+
+	// New recordings land in the current format → a mixed store.
+	put("mixed-c", 4, 20)
+	if z, j := countObjects(t, dir); z != 1 || j != 3 {
+		t.Fatalf("mixed objects: %d zyt, %d jsonl; want 1, 3", z, j)
+	}
+	for k, res := range want {
+		got, ok, err := st.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("mixed get %+v: ok=%v err=%v", k, ok, err)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("mixed-format Get differs for %+v", k)
+		}
+	}
+
+	// Migrate everything forward; re-running is an idempotent no-op.
+	stats, err = st.Migrate(FormatZYT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rewritten != 3 || stats.Skipped != 1 {
+		t.Errorf("forward migrate stats %+v, want 3 rewritten / 1 skipped", stats)
+	}
+	stats, err = st.Migrate(FormatZYT)
+	if err != nil || stats.Rewritten != 0 || stats.Skipped != 4 {
+		t.Errorf("idempotent migrate stats %+v err=%v, want 0 rewritten / 4 skipped", stats, err)
+	}
+	for k, res := range want {
+		got, ok, err := st.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("post-migrate get %+v: ok=%v err=%v", k, ok, err)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("post-migrate Get differs for %+v", k)
+		}
+	}
+}
+
+// TestMigrateRefusesCorruptObject: a truncated object must survive a
+// migration attempt untouched — the error is reported and the bad copy
+// is not replaced by garbage, nor deleted.
+func TestMigrateRefusesCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res := syntheticResult("corrupt", 10, 1, 30, false)
+	e, _, err := st.Put("corrupt", key("corrupt", 10, 1), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.ObjectPath(e.Artifact)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Migrate(FormatJSONL)
+	if err == nil {
+		t.Fatal("migrating a corrupt object: want error")
+	}
+	if stats.Rewritten != 0 {
+		t.Errorf("corrupt object was rewritten: %+v", stats)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Error("corrupt source object was deleted")
+	}
+}
+
+// TestParseFormat pins the accepted spellings.
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"zyt": FormatZYT, ".zyt": FormatZYT,
+		"jsonl": FormatJSONL, "jsonl.gz": FormatJSONL, ".jsonl.gz": FormatJSONL,
+		"ZYT": FormatZYT,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("parquet"); err == nil {
+		t.Error("ParseFormat accepted an unknown format")
+	}
+}
+
+// TestLookupMissDebounce pins the satellite fix: within the refresh
+// window a miss does not touch the filesystem, while Put always forces
+// a refresh so cross-process idempotence never trades on the debounce.
+func TestLookupMissDebounce(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.mu.Lock()
+	b.refreshEvery = time.Hour
+	b.mu.Unlock()
+
+	k := key("debounce", 10, 1)
+	if _, ok := b.Lookup(k); ok {
+		t.Fatal("unexpected hit")
+	} // arms the debounce window
+	res := syntheticResult("debounce", 10, 1, 20, false)
+	if _, _, err := a.Put("debounce", k, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup(k); ok {
+		t.Fatal("debounced miss refreshed anyway")
+	}
+	// Put on the debounced handle must still adopt the published entry
+	// rather than appending a duplicate manifest line.
+	if _, created, err := b.Put("debounce", k, res); err != nil || created {
+		t.Fatalf("debounced Put = (created=%v, %v), want adoption", created, err)
+	}
+	// Dropping the window lets the miss path see the entry.
+	b.mu.Lock()
+	b.refreshEvery = 0
+	b.mu.Unlock()
+	if _, ok := b.Lookup(k); !ok {
+		t.Fatal("lookup after window expiry still missed")
+	}
+}

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// This file is the sidecar index: a binary cache of the parsed
+// manifest so Open on a large store is one compact read instead of a
+// full JSONL re-parse.
+//
+// Layout (manifest.idx, magic "ZYI1"):
+//
+//	"ZYI1"
+//	uvarint coveredOffset      manifest bytes the entries describe
+//	uvarint fpLen, fpLen bytes fingerprint: the manifest bytes
+//	                           [coveredOffset-fpLen, coveredOffset)
+//	uvarint entryCount
+//	entryCount × entry         first-recorded order
+//
+// The sidecar is a pure cache and is trusted only when it verifiably
+// describes a prefix of the manifest: coveredOffset must not exceed
+// the manifest size and the fingerprint bytes must match the manifest
+// content just before the covered offset. Any mismatch, decode error,
+// or trailing garbage silently falls back to the streaming JSONL parse
+// — a stale or corrupt index can cost a re-parse, never a wrong entry.
+// Writers produce it best-effort on Store.Close via temp+fsync+rename,
+// so crashed processes leave either the old index or the new one,
+// never a torn file.
+
+// sidecarMagic versions the sidecar layout; bumping it (ZYI2, ...)
+// invalidates every existing index, which costs one re-parse per store.
+const sidecarMagic = "ZYI1"
+
+// sidecarFingerprint bounds how many manifest tail bytes the index
+// embeds for validation.
+const sidecarFingerprint = 256
+
+// sidecarMaxSize caps how large an index file the loader will read;
+// far above any real manifest (entries are ~200 bytes each).
+const sidecarMaxSize = 1 << 30
+
+// loadSidecarLocked adopts the sidecar index if it validates against
+// the open manifest file: entries land in the in-memory index and
+// s.loaded advances to the covered offset. On any failure it leaves
+// the store untouched (the caller falls back to the full parse). The
+// manifest file's read offset is restored by the caller via Seek.
+func (s *Store) loadSidecarLocked(manifest *os.File) {
+	data, err := os.ReadFile(s.sidecarPath())
+	if err != nil || len(data) > sidecarMaxSize {
+		return
+	}
+	covered, fp, entries, ok := decodeSidecar(data)
+	if !ok {
+		return
+	}
+	fi, err := manifest.Stat()
+	if err != nil || fi.Size() < covered || int64(len(fp)) > covered {
+		return
+	}
+	if len(fp) > 0 {
+		got := make([]byte, len(fp))
+		if _, err := manifest.ReadAt(got, covered-int64(len(fp))); err != nil || !bytes.Equal(got, fp) {
+			return
+		}
+	}
+	for _, e := range entries {
+		s.addLocked(e)
+	}
+	s.loaded = covered
+}
+
+// writeSidecarLocked persists the current index as the sidecar,
+// best-effort: failures leave the previous sidecar (or none) in place
+// and the manifest remains the source of truth.
+func (s *Store) writeSidecarLocked() {
+	if s.loaded == 0 || len(s.order) == 0 {
+		return
+	}
+	fpLen := int64(sidecarFingerprint)
+	if s.loaded < fpLen {
+		fpLen = s.loaded
+	}
+	fp := make([]byte, fpLen)
+	mf, err := os.Open(s.manifestPath())
+	if err != nil {
+		return
+	}
+	if _, err := mf.ReadAt(fp, s.loaded-fpLen); err != nil {
+		mf.Close()
+		return
+	}
+	mf.Close()
+
+	var buf bytes.Buffer
+	buf.WriteString(sidecarMagic)
+	putUvarint(&buf, uint64(s.loaded))
+	putUvarint(&buf, uint64(len(fp)))
+	buf.Write(fp)
+	putUvarint(&buf, uint64(len(s.order)))
+	for _, k := range s.order {
+		encodeSidecarEntry(&buf, s.index[k])
+	}
+
+	tmp, err := os.CreateTemp(s.dir, ".idx-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	_, err = tmp.Write(buf.Bytes())
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return
+	}
+	_ = os.Rename(tmp.Name(), s.sidecarPath())
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putSvarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func putF64(buf *bytes.Buffer, v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	buf.Write(tmp[:])
+}
+
+func putStr(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func encodeSidecarEntry(buf *bytes.Buffer, e Entry) {
+	putStr(buf, e.Key.Fingerprint)
+	putF64(buf, e.Key.FPR)
+	putSvarint(buf, e.Key.Seed)
+	putStr(buf, e.Key.SimVersion)
+	putStr(buf, e.Scenario)
+	putStr(buf, e.Artifact)
+	putUvarint(buf, uint64(e.Rows))
+	putSvarint(buf, e.Bytes)
+	if e.Collision != nil {
+		buf.WriteByte(1)
+		putF64(buf, e.Collision.Time)
+		putStr(buf, e.Collision.ActorID)
+	} else {
+		buf.WriteByte(0)
+	}
+	// nil/non-nil maps are preserved (0 = nil, n+1 = n cameras) so a
+	// sidecar-loaded Entry is deep-equal to its JSONL-parsed twin.
+	if e.FramesProcessed == nil {
+		putUvarint(buf, 0)
+	} else {
+		putUvarint(buf, uint64(len(e.FramesProcessed))+1)
+		cams := make([]string, 0, len(e.FramesProcessed))
+		for cam := range e.FramesProcessed {
+			cams = append(cams, cam)
+		}
+		sort.Strings(cams)
+		for _, cam := range cams {
+			putStr(buf, cam)
+			putSvarint(buf, int64(e.FramesProcessed[cam]))
+		}
+	}
+	putF64(buf, e.MinBumperGap)
+	var flags byte
+	if e.MinGapInfinite {
+		flags |= 1
+	}
+	if e.EgoStopped {
+		flags |= 2
+	}
+	buf.WriteByte(flags)
+	putSvarint(buf, e.RecordedUnix)
+}
+
+// sidecarCursor is a bounds-checked reader over the sidecar bytes; any
+// overrun or malformed varint poisons it and the load is abandoned.
+type sidecarCursor struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (c *sidecarCursor) remaining() int { return len(c.p) - c.off }
+
+func (c *sidecarCursor) uvarint() uint64 {
+	v, n := binary.Uvarint(c.p[c.off:])
+	if n <= 0 {
+		c.bad = true
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *sidecarCursor) svarint() int64 {
+	v, n := binary.Varint(c.p[c.off:])
+	if n <= 0 {
+		c.bad = true
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *sidecarCursor) f64() float64 {
+	if c.remaining() < 8 {
+		c.bad = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.p[c.off:]))
+	c.off += 8
+	return v
+}
+
+func (c *sidecarCursor) byte() byte {
+	if c.remaining() < 1 {
+		c.bad = true
+		return 0
+	}
+	b := c.p[c.off]
+	c.off++
+	return b
+}
+
+func (c *sidecarCursor) str() string {
+	n := c.uvarint()
+	if c.bad || n > uint64(c.remaining()) {
+		c.bad = true
+		return ""
+	}
+	s := string(c.p[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+func decodeSidecar(data []byte) (covered int64, fp []byte, entries []Entry, ok bool) {
+	if len(data) < len(sidecarMagic) || string(data[:len(sidecarMagic)]) != sidecarMagic {
+		return 0, nil, nil, false
+	}
+	c := &sidecarCursor{p: data, off: len(sidecarMagic)}
+	cov := c.uvarint()
+	fpLen := c.uvarint()
+	if c.bad || cov > math.MaxInt64 || fpLen > sidecarFingerprint || fpLen > uint64(c.remaining()) {
+		return 0, nil, nil, false
+	}
+	fp = data[c.off : c.off+int(fpLen)]
+	c.off += int(fpLen)
+	n := c.uvarint()
+	// Each entry costs well over 16 bytes on the wire; reject counts the
+	// payload cannot possibly hold before allocating.
+	if c.bad || n > uint64(c.remaining()/16+1) {
+		return 0, nil, nil, false
+	}
+	entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e, ok := decodeSidecarEntry(c)
+		if !ok {
+			return 0, nil, nil, false
+		}
+		entries = append(entries, e)
+	}
+	if c.bad || c.remaining() != 0 {
+		return 0, nil, nil, false
+	}
+	return int64(cov), fp, entries, true
+}
+
+func decodeSidecarEntry(c *sidecarCursor) (Entry, bool) {
+	var e Entry
+	e.Key.Fingerprint = c.str()
+	e.Key.FPR = c.f64()
+	e.Key.Seed = c.svarint()
+	e.Key.SimVersion = c.str()
+	e.Scenario = c.str()
+	e.Artifact = c.str()
+	e.Rows = int(c.uvarint())
+	e.Bytes = c.svarint()
+	if c.byte() == 1 {
+		col := &trace.Collision{}
+		col.Time = c.f64()
+		col.ActorID = c.str()
+		e.Collision = col
+	}
+	nCams := c.uvarint()
+	if nCams > 0 {
+		// Each camera costs ≥2 wire bytes; a count the remaining payload
+		// cannot hold is hostile — reject before the map allocation.
+		if nCams-1 > uint64(c.remaining()) {
+			c.bad = true
+			return Entry{}, false
+		}
+		m := make(map[string]int, nCams-1)
+		for i := uint64(1); i < nCams; i++ {
+			cam := c.str()
+			m[cam] = int(c.svarint())
+		}
+		e.FramesProcessed = m
+	}
+	e.MinBumperGap = c.f64()
+	flags := c.byte()
+	e.MinGapInfinite = flags&1 != 0
+	e.EgoStopped = flags&2 != 0
+	e.RecordedUnix = c.svarint()
+	if c.bad {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// RebuildSidecar forces a fresh sidecar index write for the store's
+// current in-memory view — used by tooling (migrate) so the next Open
+// is fast without waiting for a clean Close.
+func (s *Store) RebuildSidecar() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked(true)
+	s.writeSidecarLocked()
+	if _, err := os.Stat(s.sidecarPath()); err != nil {
+		return fmt.Errorf("store: sidecar rebuild failed: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// jsonUnmarshal aliases encoding/json for test-local parsing.
+var jsonUnmarshal = json.Unmarshal
+
+// populate records n synthetic entries and closes the store (which
+// persists the sidecar index), returning the expected entries.
+func populateAndClose(t *testing.T, dir string, n int) []Entry {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		res := syntheticResult("idx", 10, int64(i+1), 10+i, i%2 == 0)
+		if _, _, err := st.Put("idx", key("idx", 10, int64(i+1)), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := st.Entries()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestSidecarRoundTrip: Close writes manifest.idx; a reopen adopts it
+// and reconstructs the exact same index a full JSONL parse produces.
+func TestSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := populateAndClose(t, dir, 5)
+	if _, err := os.Stat(filepath.Join(dir, "manifest.idx")); err != nil {
+		t.Fatalf("Close did not persist the sidecar index: %v", err)
+	}
+
+	viaSidecar, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSidecar.loaded == 0 {
+		t.Fatal("sidecar index was not adopted")
+	}
+	gotSidecar := viaSidecar.Entries()
+	viaSidecar.Close()
+
+	if err := os.Remove(filepath.Join(dir, "manifest.idx")); err != nil {
+		t.Fatal(err)
+	}
+	viaParse, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotParse := viaParse.Entries()
+	viaParse.Close()
+
+	if !reflect.DeepEqual(gotSidecar, want) {
+		t.Error("sidecar-loaded entries differ from the recorded ones")
+	}
+	if !reflect.DeepEqual(gotSidecar, gotParse) {
+		t.Error("sidecar-loaded entries differ from a full manifest parse")
+	}
+}
+
+// TestSidecarCoversPrefixThenTails: entries appended after the sidecar
+// was written (another process recording into the shared store) are
+// picked up by the streaming tail parse on Open.
+func TestSidecarCoversPrefixThenTails(t *testing.T) {
+	dir := t.TempDir()
+	populateAndClose(t, dir, 3)
+
+	// A second recorder appends past the sidecar's covered offset.
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Put("idx-tail", key("idx-tail", 5, 9), syntheticResult("idx-tail", 5, 9, 15, false)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (3 sidecar-covered + 1 tail)", st2.Len())
+	}
+	if _, ok := st2.Lookup(key("idx-tail", 5, 9)); !ok {
+		t.Error("tail entry missing after sidecar-assisted open")
+	}
+}
+
+// TestSidecarStaleAndCorruptFallsBack: any sidecar that does not
+// verifiably describe a prefix of the manifest is ignored — garbage
+// bytes, a truncated file, or a manifest whose covered content changed
+// under the index.
+func TestSidecarStaleAndCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	populateAndClose(t, dir, 3)
+	idxPath := filepath.Join(dir, "manifest.idx")
+	manifestPath := filepath.Join(dir, "manifest.jsonl")
+
+	open3 := func(why string) {
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", why, err)
+		}
+		defer st.Close()
+		if st.Len() != 3 {
+			t.Errorf("%s: Len = %d, want 3", why, st.Len())
+		}
+	}
+
+	idx, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idxPath, []byte("ZYI1 not really an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	open3("garbage sidecar")
+
+	if err := os.WriteFile(idxPath, idx[:len(idx)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	open3("truncated sidecar")
+
+	// A manifest truncated below the covered offset must reject the
+	// sidecar outright.
+	if err := os.WriteFile(idxPath, idx, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(manifest, []byte("\n"))
+	if err := os.WriteFile(manifestPath, bytes.Join(lines[:2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stTrunc, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stTrunc.Len() != 2 {
+		t.Errorf("truncated manifest: Len = %d, want 2 (sidecar must be rejected by offset)", stTrunc.Len())
+	}
+	stTrunc.Close()
+
+	// Same length, different covered content: mutate the final digit of
+	// the last line's recorded_unix — inside the fingerprint window —
+	// and require the reparse (not the stale sidecar) to win.
+	if err := os.WriteFile(idxPath, idx, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte{}, manifest...)
+	tsOff := bytes.LastIndex(mutated, []byte(`"recorded_unix":`))
+	if tsOff < 0 {
+		t.Fatal("test setup: recorded_unix not found")
+	}
+	digit := tsOff + len(`"recorded_unix":`)
+	for mutated[digit+1] >= '0' && mutated[digit+1] <= '9' {
+		digit++
+	}
+	mutated[digit] = '0' + (mutated[digit]-'0'+1)%10
+	if err := os.WriteFile(manifestPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	e, ok := st.Lookup(key("idx", 10, 3))
+	if !ok {
+		t.Fatal("last entry missing after fingerprint-mismatch reopen")
+	}
+	var orig Entry
+	for _, we := range populatedEntries(manifest, t) {
+		if we.Key == e.Key {
+			orig = we
+		}
+	}
+	if e.RecordedUnix == orig.RecordedUnix {
+		t.Error("stale sidecar was trusted despite a covered-content mismatch")
+	}
+
+	// An empty sidecar alongside an empty store is a no-op.
+	empty := t.TempDir()
+	if err := os.WriteFile(filepath.Join(empty, "manifest.idx"), []byte("ZYI1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 0 {
+		t.Errorf("empty store Len = %d", st2.Len())
+	}
+}
+
+// populatedEntries parses original manifest bytes for comparison.
+func populatedEntries(manifest []byte, t *testing.T) []Entry {
+	t.Helper()
+	var out []Entry
+	for _, line := range bytes.Split(manifest, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e Entry
+		if err := jsonUnmarshal(line, &e); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestSidecarEntryCodec fuzz-ishly round-trips entries through the
+// binary sidecar codec, including the nil/non-nil map distinction.
+func TestSidecarEntryCodec(t *testing.T) {
+	entries := []Entry{
+		{Key: Key{Fingerprint: "fp1", FPR: 7.5, Seed: -3, SimVersion: "v1"}, Scenario: "s", Artifact: "abc", Rows: 10, Bytes: 999, MinBumperGap: 1.25, RecordedUnix: 1700000000},
+		{Key: Key{Fingerprint: "fp2", FPR: 30, Seed: 1, SimVersion: "v1"}, Scenario: "t", Artifact: "def", FramesProcessed: map[string]int{}, MinGapInfinite: true, EgoStopped: true},
+		{Key: Key{FPR: 0.5}, FramesProcessed: map[string]int{"front120": 42, "left": 7}},
+	}
+	var buf bytes.Buffer
+	for _, e := range entries {
+		encodeSidecarEntry(&buf, e)
+	}
+	c := &sidecarCursor{p: buf.Bytes()}
+	for i, want := range entries {
+		got, ok := decodeSidecarEntry(c)
+		if !ok {
+			t.Fatalf("entry %d failed to decode", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("entry %d: %+v != %+v", i, got, want)
+		}
+		if (got.FramesProcessed == nil) != (want.FramesProcessed == nil) {
+			t.Errorf("entry %d: nil-map identity lost", i)
+		}
+	}
+	if c.remaining() != 0 {
+		t.Errorf("%d undecoded bytes", c.remaining())
+	}
+
+	// Truncations must fail cleanly, never panic.
+	for n := 0; n < buf.Len(); n += 7 {
+		c := &sidecarCursor{p: buf.Bytes()[:n]}
+		for j := 0; j < len(entries); j++ {
+			if _, ok := decodeSidecarEntry(c); !ok {
+				break
+			}
+		}
+	}
+}

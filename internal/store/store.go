@@ -11,16 +11,27 @@
 // A store is a directory:
 //
 //	<dir>/manifest.jsonl           append-only index, one JSON entry per line
-//	<dir>/objects/<aa>/<hash>.jsonl.gz   gzip JSONL trace artifacts
+//	<dir>/manifest.idx             binary sidecar index (rebuilt if stale)
+//	<dir>/objects/<aa>/<hash>.zyt        binary columnar trace artifacts
+//	<dir>/objects/<aa>/<hash>.jsonl.gz   legacy gzip JSONL trace artifacts
 //
 // Artifacts are content-addressed: <hash> is the SHA-256 of the
-// uncompressed trace serialization (trace.Trace.Write), and <aa> its
-// first two hex digits. Identical traces recorded under different keys
-// share one object. The manifest maps a Key — scenario spec
-// fingerprint, FPR, seed, simulator version — to its artifact hash
-// plus the run summary needed to reconstruct a sim.Result without
-// re-simulating (collision, frames processed, min bumper gap, ego
-// stopped).
+// canonical trace serialization (trace.Trace.Write — the JSONL bytes,
+// regardless of which format is on disk), and <aa> its first two hex
+// digits. Content addressing over the canonical serialization means a
+// store migrated between formats keeps every hash, manifest entry, and
+// cross-key dedup link intact. New objects are written in the ZYT1
+// binary columnar format (trace.WriteZYT, stored raw — its decoder is
+// what makes the disk tier faster than re-simulating); old gzip-JSONL
+// objects stay readable forever, and Migrate rewrites between the two
+// in place. The manifest maps a Key — scenario spec fingerprint, FPR,
+// seed, simulator version — to its artifact hash plus the run summary
+// needed to reconstruct a sim.Result without re-simulating (collision,
+// frames processed, min bumper gap, ego stopped). manifest.idx caches
+// the parsed manifest so reopening a large store skips the JSONL
+// re-parse; it is validated by byte offset + content fingerprint and
+// silently rebuilt whenever it does not exactly describe a prefix of
+// the manifest.
 //
 // Keying on the spec fingerprint rather than the scenario name means a
 // renamed scenario keeps its artifacts while any parameter edit — or a
@@ -34,6 +45,7 @@
 package store
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
 	"crypto/sha256"
@@ -123,7 +135,25 @@ type Store struct {
 	// indexed yet, plus this process's own appends (re-ingesting those
 	// is an idempotent no-op).
 	loaded int64
+
+	// refreshEvery rate-limits the Lookup miss path's manifest stat: a
+	// hot loop probing cold keys otherwise turns every miss into a
+	// filesystem round trip. Put / Summarize / Entries force a refresh
+	// regardless — correctness paths never trade on the debounce.
+	refreshEvery time.Duration
+	lastRefresh  time.Time
+	// statSize/statMtime memoize the manifest stat at the last tail
+	// read, so an unchanged manifest — including one pinned above
+	// `loaded` forever by a crashed writer's torn tail — is never
+	// reopened and re-read per miss.
+	statSize  int64
+	statMtime time.Time
 }
+
+// defaultRefreshEvery bounds miss-path manifest stats to ~100/s; small
+// enough that fabric replicas still discover each other's appends
+// within one scheduling quantum.
+const defaultRefreshEvery = 10 * time.Millisecond
 
 // Open opens (creating if needed) the store rooted at dir and loads
 // its manifest index into memory.
@@ -131,7 +161,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, index: make(map[Key]Entry)}
+	s := &Store{dir: dir, index: make(map[Key]Entry), refreshEvery: defaultRefreshEvery}
 	if err := s.loadManifest(); err != nil {
 		return nil, err
 	}
@@ -143,14 +173,16 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// Close releases the manifest handle. Reads of already-loaded entries
-// keep working; Put fails after Close.
+// Close persists the sidecar index (best-effort — the manifest remains
+// the source of truth) and releases the manifest handle. Reads of
+// already-loaded entries keep working; Put fails after Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.manifest == nil {
 		return nil
 	}
+	s.writeSidecarLocked()
 	err := s.manifest.Close()
 	s.manifest = nil
 	return err
@@ -161,75 +193,144 @@ func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.jsonl") }
 
-// ObjectPath returns the on-disk path of an artifact hash.
-func (s *Store) ObjectPath(hash string) string {
+func (s *Store) sidecarPath() string { return filepath.Join(s.dir, "manifest.idx") }
+
+// Object format extensions: extZYT is the current binary columnar
+// format; extJSONL is the legacy gzip-JSONL format, readable forever.
+const (
+	extZYT   = ".zyt"
+	extJSONL = ".jsonl.gz"
+)
+
+func (s *Store) objectPathExt(hash, ext string) string {
 	prefix := "00"
 	if len(hash) >= 2 {
 		prefix = hash[:2]
 	}
-	return filepath.Join(s.dir, "objects", prefix, hash+".jsonl.gz")
+	return filepath.Join(s.dir, "objects", prefix, hash+ext)
 }
 
+// ObjectPath returns the on-disk path an artifact hash is written to
+// by the current format (binary columnar, .zyt). A store that predates
+// the binary format may hold the hash at LegacyObjectPath instead;
+// readers probe both.
+func (s *Store) ObjectPath(hash string) string { return s.objectPathExt(hash, extZYT) }
+
+// LegacyObjectPath returns the gzip-JSONL path artifact hashes were
+// written to before the binary format existed.
+func (s *Store) LegacyObjectPath(hash string) string { return s.objectPathExt(hash, extJSONL) }
+
+// locateObject finds an artifact in whichever format it is stored,
+// preferring the binary format when both exist (e.g. mid-migration).
+func (s *Store) locateObject(hash string) (path string, legacy bool, err error) {
+	p := s.ObjectPath(hash)
+	if _, err := os.Stat(p); err == nil {
+		return p, false, nil
+	}
+	p = s.LegacyObjectPath(hash)
+	if _, err := os.Stat(p); err == nil {
+		return p, true, nil
+	}
+	return "", false, fmt.Errorf("store: artifact %s: %w", hash, os.ErrNotExist)
+}
+
+// loadManifest populates the index at Open: the sidecar index is
+// adopted when it verifiably describes a prefix of the manifest (one
+// binary read instead of a JSONL re-parse), then the manifest is
+// streamed line-by-line from the first uncovered byte — never slurped
+// whole, so opening a large store doesn't spike memory.
 func (s *Store) loadManifest() error {
-	data, err := os.ReadFile(s.manifestPath())
+	f, err := os.Open(s.manifestPath())
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return s.ingestLocked(data)
+	defer f.Close()
+	s.loadSidecarLocked(f)
+	if s.loaded > 0 {
+		if _, err := f.Seek(s.loaded, io.SeekStart); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return s.ingestReaderLocked(f)
 }
 
-// ingestLocked parses manifest bytes starting at offset s.loaded into
-// the index and advances the offset past every line it consumed. Only
+// ingestReaderLocked parses manifest lines starting at offset s.loaded
+// and advances the offset past every line it consumed. Only
 // newline-terminated lines are consumed: a torn final line — the
 // signature of a crashed or mid-write appender — is left unconsumed
 // (not an error), so a later refresh re-reads it once its writer
 // finishes. A complete line that fails to parse is tolerated only in
 // final position (crashed-writer debris another process appended
 // after); corruption anywhere else is a real error.
-func (s *Store) ingestLocked(data []byte) error {
-	base := s.loaded
-	end := bytes.LastIndexByte(data, '\n') + 1
-	complete := data[:end]
-	for off := 0; off < len(complete); {
-		nl := bytes.IndexByte(complete[off:], '\n')
-		line := complete[off : off+nl]
-		next := off + nl + 1
+func (s *Store) ingestReaderLocked(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 256<<10)
+	var (
+		badErr error // parse failure pending the is-it-final check
+		badEnd int64 // offset just past the unparseable line
+	)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// EOF: an unterminated fragment in line is a torn tail — leave
+			// it unconsumed. An unparseable complete line right before it
+			// was in final position: consume and tolerate it so refreshes
+			// don't re-parse the debris forever.
+			if badErr != nil {
+				s.loaded = badEnd
+			}
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		if badErr != nil {
+			return fmt.Errorf("store: manifest offset %d: %w", s.loaded, badErr)
+		}
+		next := s.loaded + int64(len(line))
 		if len(bytes.TrimSpace(line)) == 0 {
-			off = next
-			s.loaded = base + int64(off)
+			s.loaded = next
 			continue
 		}
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			if next == len(complete) {
-				// Final complete line: torn-tail debris; skip past it so
-				// refreshes don't re-parse it forever.
-				s.loaded = base + int64(next)
-				return nil
-			}
-			return fmt.Errorf("store: manifest offset %d: %w", base+int64(off), err)
+			badErr, badEnd = err, next
+			continue
 		}
 		s.addLocked(e)
-		off = next
-		s.loaded = base + int64(off)
+		s.loaded = next
 	}
-	return nil
 }
 
 // refreshLocked ingests manifest lines appended since the last load —
 // by concurrent recorder processes sharing the directory (the
 // distributed fabric's replicas all publish into one store) — so a
 // lookup that misses the in-memory index retries against the
-// up-to-date manifest before the caller re-simulates. When nothing was
-// appended this is one Stat. Refresh failures degrade to "no new
-// entries": the miss stands and the caller simulates, which is always
-// safe.
-func (s *Store) refreshLocked() {
+// up-to-date manifest before the caller re-simulates. The common case
+// is one Stat, and even that is debounced on the miss path (force ==
+// false): within refreshEvery of the previous attempt the refresh is
+// skipped outright, and an unchanged size+mtime skips the reopen/read,
+// so a hot loop probing cold keys — or a manifest pinned above
+// `loaded` by a torn tail — costs ~zero filesystem work per miss.
+// Refresh failures degrade to "no new entries": the miss stands and
+// the caller simulates, which is always safe.
+func (s *Store) refreshLocked(force bool) {
+	now := time.Now()
+	if !force && now.Sub(s.lastRefresh) < s.refreshEvery {
+		return
+	}
+	s.lastRefresh = now
 	fi, err := os.Stat(s.manifestPath())
-	if err != nil || fi.Size() <= s.loaded {
+	if err != nil {
+		return
+	}
+	if fi.Size() == s.statSize && fi.ModTime().Equal(s.statMtime) {
+		return
+	}
+	s.statSize, s.statMtime = fi.Size(), fi.ModTime()
+	if fi.Size() <= s.loaded {
 		return
 	}
 	f, err := os.Open(s.manifestPath())
@@ -237,14 +338,10 @@ func (s *Store) refreshLocked() {
 		return
 	}
 	defer f.Close()
-	if _, err := f.Seek(s.loaded, 0); err != nil {
+	if _, err := f.Seek(s.loaded, io.SeekStart); err != nil {
 		return
 	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return
-	}
-	_ = s.ingestLocked(data)
+	_ = s.ingestReaderLocked(f)
 }
 
 // addLocked inserts an entry into the in-memory index; later manifest
@@ -280,7 +377,7 @@ type Summary struct {
 func (s *Store) Summarize() Summary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.refreshLocked()
+	s.refreshLocked(true)
 	sum := Summary{Entries: len(s.index)}
 	names := make(map[string]struct{})
 	for _, e := range s.index {
@@ -302,7 +399,7 @@ func (s *Store) Lookup(k Key) (Entry, bool) {
 	defer s.mu.Unlock()
 	e, ok := s.index[k]
 	if !ok {
-		s.refreshLocked()
+		s.refreshLocked(false)
 		e, ok = s.index[k]
 	}
 	return e, ok
@@ -313,7 +410,7 @@ func (s *Store) Lookup(k Key) (Entry, bool) {
 // Lookup, it refreshes from the manifest tail first.
 func (s *Store) Entries() []Entry {
 	s.mu.Lock()
-	s.refreshLocked()
+	s.refreshLocked(true)
 	out := make([]Entry, 0, len(s.index))
 	for _, k := range s.order {
 		out = append(out, s.index[k])
@@ -362,17 +459,18 @@ func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, e
 	if !exists {
 		// Another process sharing the directory may have archived this
 		// point already; the refresh turns that into an idempotent no-op
-		// instead of a duplicate manifest line.
-		s.refreshLocked()
+		// instead of a duplicate manifest line. Forced: the miss-path
+		// debounce must never cause a duplicate append.
+		s.refreshLocked(true)
 		existing, exists = s.index[k]
 	}
 	closed := s.manifest == nil
 	s.mu.Unlock()
 	if exists {
-		if _, err := os.Stat(s.ObjectPath(existing.Artifact)); err == nil {
+		if _, _, err := s.locateObject(existing.Artifact); err == nil {
 			return existing, false, nil
 		}
-		buf, hash, err := serializeTrace(scenarioName, res)
+		_, hash, err := serializeTrace(scenarioName, res)
 		if err != nil {
 			return existing, false, err
 		}
@@ -381,7 +479,7 @@ func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, e
 				"store: put %s: artifact %s is missing and the fresh run hashes to %s — simulator semantics drifted without a sim.Version bump?",
 				scenarioName, existing.Artifact, hash)
 		}
-		if err := s.writeObject(hash, buf); err != nil {
+		if err := s.writeObject(hash, res.Trace); err != nil {
 			return existing, false, err
 		}
 		return existing, true, nil
@@ -394,7 +492,7 @@ func (s *Store) Put(scenarioName string, k Key, res *sim.Result) (Entry, bool, e
 	if err != nil {
 		return Entry{}, false, err
 	}
-	if err := s.writeObject(hash, buf); err != nil {
+	if err := s.writeObject(hash, res.Trace); err != nil {
 		return Entry{}, false, err
 	}
 
@@ -451,13 +549,17 @@ func serializeTrace(scenarioName string, res *sim.Result) ([]byte, string, error
 	return buf.Bytes(), hex.EncodeToString(sum[:]), nil
 }
 
-// writeObject stores the gzip-compressed artifact atomically (write to
-// a temp file, rename into place); an existing object is reused.
-func (s *Store) writeObject(hash string, raw []byte) error {
-	path := s.ObjectPath(hash)
-	if _, err := os.Stat(path); err == nil {
+// writeObject stores the trace artifact atomically (write to a temp
+// file, rename into place) in the current binary format; an object
+// already present in either format is reused. The .zyt payload is the
+// raw ZYT1 stream, uncompressed: the format's column deltas already
+// shrink the hot fields, and skipping gzip is where the disk tier's
+// decode speed comes from.
+func (s *Store) writeObject(hash string, tr *trace.Trace) error {
+	if _, _, err := s.locateObject(hash); err == nil {
 		return nil
 	}
+	path := s.ObjectPath(hash)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -466,21 +568,11 @@ func (s *Store) writeObject(hash string, raw []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	// BestSpeed: archiving rides on the simulation hot path (the
-	// engine's record hook), and trace JSON compresses well at any
-	// level; default compression costs ~3x the CPU for a few percent
-	// smaller artifacts.
-	zw, _ := gzip.NewWriterLevel(tmp, gzip.BestSpeed)
-	if _, err := zw.Write(raw); err == nil {
-		err = zw.Close()
-	} else {
-		zw.Close()
+	err = tr.WriteZYT(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: write object %s: %w", hash, err)
-	}
-	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: write object %s: %w", hash, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
@@ -489,19 +581,33 @@ func (s *Store) writeObject(hash string, raw []byte) error {
 	return nil
 }
 
-// Trace loads and parses an entry's artifact.
+// Trace loads and parses an entry's artifact from whichever format it
+// is stored in — ZYT1 binary (current) or gzip JSONL (legacy) — so
+// mixed-format stores read transparently.
 func (s *Store) Trace(e Entry) (*trace.Trace, error) {
-	f, err := os.Open(s.ObjectPath(e.Artifact))
+	path, legacy, err := s.locateObject(e.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+	var tr *trace.Trace
+	if legacy {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+		}
+		defer zr.Close()
+		tr, err = trace.Read(zr)
+		if err != nil {
+			return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
+		}
+		return tr, nil
 	}
-	defer zr.Close()
-	tr, err := trace.Read(zr)
+	tr, err = trace.ReadZYT(bufio.NewReaderSize(f, 256<<10))
 	if err != nil {
 		return nil, fmt.Errorf("store: artifact %s: %w", e.Artifact, err)
 	}

@@ -45,3 +45,49 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTraceDecode drives the ZYT1 binary decoder with arbitrary bytes:
+// truncation, bit flips, and hostile length claims must all reject
+// with an error — no panics, no unbounded allocations — and anything
+// the decoder accepts must survive a binary write→read round trip.
+func FuzzTraceDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleTrace().WriteZYT(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	if err := (&Trace{Meta: Meta{Scenario: "e", FPR: 5}}).WriteZYT(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte(ZYTMagic))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(append([]byte(ZYTMagic), 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)) // huge frame claim
+	f.Add(append([]byte(ZYTMagic), 0x02, 0x03, 0xFF, 0xFF, 0x7F))       // huge row count
+	flipped := append([]byte{}, valid.Bytes()...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadZYT(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var out bytes.Buffer
+		if err := tr.WriteZYT(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadZYT(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed row count: %d -> %d", tr.Len(), tr2.Len())
+		}
+		if (tr.Collision == nil) != (tr2.Collision == nil) {
+			t.Fatal("round trip changed collision presence")
+		}
+	})
+}
